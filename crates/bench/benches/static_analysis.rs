@@ -1,0 +1,47 @@
+//! Static-analysis benchmarks: symbolic formulas, related-reference
+//! grouping, and fragmentation factors over real workload programs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reuselens::statics::{compute_formulas, StaticAnalysis};
+use reuselens::trace::{Executor, NullSink};
+use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
+use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let sweep = build_sweep(&SweepConfig::new(8));
+    let sweep_exec = Executor::new(&sweep.program).run(&mut NullSink).unwrap();
+    let gtc = build_gtc(&GtcConfig::new(128, 4));
+    let gtc_exec = {
+        let mut e = Executor::new(&gtc.program);
+        for (a, d) in &gtc.index_arrays {
+            e.set_index_array(*a, d.clone());
+        }
+        e.run(&mut NullSink).unwrap()
+    };
+
+    let mut g = c.benchmark_group("static_analysis");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(
+        sweep.program.references().len() as u64,
+    ));
+    g.bench_function("formulas_sweep3d", |b| {
+        b.iter(|| compute_formulas(&sweep.program).len())
+    });
+    g.bench_function("full_sweep3d", |b| {
+        b.iter(|| {
+            StaticAnalysis::analyze(&sweep.program, &sweep_exec)
+                .groups
+                .len()
+        })
+    });
+    g.throughput(Throughput::Elements(gtc.program.references().len() as u64));
+    g.bench_function("full_gtc", |b| {
+        b.iter(|| StaticAnalysis::analyze(&gtc.program, &gtc_exec).groups.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_static_analysis);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end pipeline benchmarks: the full locality analysis (execute +
+//! multi-granularity reuse measurement + miss prediction + static analysis
+//! + attribution) on the two paper workloads.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reuselens::cache::MemoryHierarchy;
+use reuselens::metrics::run_locality_analysis;
+use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
+use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let h = MemoryHierarchy::itanium2_scaled(16);
+    let mut g = c.benchmark_group("end_to_end");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    let sweep = build_sweep(&SweepConfig::new(8));
+    g.throughput(Throughput::Elements(8 * 8 * 8));
+    g.bench_function("sweep3d_mesh8", |b| {
+        b.iter(|| {
+            run_locality_analysis(&sweep.program, &h, sweep.index_arrays.clone())
+                .unwrap()
+                .report
+                .accesses
+        })
+    });
+
+    let gtc = build_gtc(&GtcConfig::new(128, 4));
+    g.throughput(Throughput::Elements(128 * 4));
+    g.bench_function("gtc_128x4", |b| {
+        b.iter(|| {
+            run_locality_analysis(&gtc.program, &h, gtc.index_arrays.clone())
+                .unwrap()
+                .report
+                .accesses
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

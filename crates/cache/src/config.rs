@@ -1,0 +1,246 @@
+//! Memory-hierarchy descriptions and presets.
+
+use std::fmt;
+
+/// Cache associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Assoc {
+    /// Fully associative: one set holds every block.
+    Full,
+    /// Set-associative with this many ways.
+    Ways(u32),
+}
+
+impl fmt::Display for Assoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assoc::Full => write!(f, "fully-assoc"),
+            Assoc::Ways(w) => write!(f, "{w}-way"),
+        }
+    }
+}
+
+/// One cache level (or a TLB, which is a cache of page translations).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Display name, e.g. `"L2"`.
+    pub name: String,
+    /// Total capacity in bytes. For a TLB this is `entries * page_size`.
+    pub capacity: u64,
+    /// Line size in bytes (page size for a TLB). Must be a power of two.
+    pub line_size: u64,
+    /// Associativity.
+    pub assoc: Assoc,
+}
+
+impl CacheConfig {
+    /// Creates a cache level description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a power of two, `capacity` is a
+    /// positive multiple of `line_size`, and the way count (if any) divides
+    /// the block count.
+    pub fn new(name: &str, capacity: u64, line_size: u64, assoc: Assoc) -> CacheConfig {
+        assert!(line_size.is_power_of_two(), "line size must be power of two");
+        assert!(
+            capacity > 0 && capacity.is_multiple_of(line_size),
+            "capacity must be a positive multiple of the line size"
+        );
+        let blocks = capacity / line_size;
+        if let Assoc::Ways(w) = assoc {
+            assert!(w > 0 && blocks.is_multiple_of(w as u64), "ways must divide blocks");
+        }
+        CacheConfig {
+            name: name.to_string(),
+            capacity,
+            line_size,
+            assoc,
+        }
+    }
+
+    /// Describes a TLB with `entries` translations over pages of
+    /// `page_size` bytes.
+    pub fn tlb(name: &str, entries: u64, page_size: u64, assoc: Assoc) -> CacheConfig {
+        CacheConfig::new(name, entries * page_size, page_size, assoc)
+    }
+
+    /// Total number of blocks (lines / TLB entries).
+    pub fn blocks(&self) -> u64 {
+        self.capacity / self.line_size
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        match self.assoc {
+            Assoc::Full => 1,
+            Assoc::Ways(w) => self.blocks() / w as u64,
+        }
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> u64 {
+        match self.assoc {
+            Assoc::Full => self.blocks(),
+            Assoc::Ways(w) => w as u64,
+        }
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} KB, {} B lines, {}",
+            self.name,
+            self.capacity / 1024,
+            self.line_size,
+            self.assoc
+        )
+    }
+}
+
+/// A full memory hierarchy: cache levels (outermost last) plus a TLB and
+/// the latency parameters of the cycle model ([`crate::predict_cycles`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryHierarchy {
+    /// Display name, e.g. `"Itanium2"`.
+    pub name: String,
+    /// Cache levels, nearest first (L2 before L3 — the paper models the
+    /// Itanium2 levels that hold data; its tiny L1 does not cache FP data).
+    pub levels: Vec<CacheConfig>,
+    /// The data TLB.
+    pub tlb: CacheConfig,
+    /// Cycles per access when everything hits (the non-stall component).
+    pub base_cpa: f64,
+    /// Added miss penalty in cycles per miss, one per cache level.
+    pub miss_penalty: Vec<f64>,
+    /// Added penalty per TLB miss.
+    pub tlb_penalty: f64,
+}
+
+impl MemoryHierarchy {
+    /// The Itanium2 configuration used throughout the paper's evaluation:
+    /// 256 KB 8-way L2 and 1.5 MB 6-way L3 with 128-byte lines, and a
+    /// 128-entry fully associative data TLB with 16 KB pages.
+    ///
+    /// Floating-point data on Itanium2 bypasses L1, so L2 is the first
+    /// level — exactly the levels the paper predicts (L2, L3, TLB).
+    pub fn itanium2() -> MemoryHierarchy {
+        MemoryHierarchy {
+            name: "Itanium2".to_string(),
+            levels: vec![
+                CacheConfig::new("L2", 256 * 1024, 128, Assoc::Ways(8)),
+                CacheConfig::new("L3", 1536 * 1024, 128, Assoc::Ways(6)),
+            ],
+            tlb: CacheConfig::tlb("TLB", 128, 16 * 1024, Assoc::Full),
+            base_cpa: 1.0,
+            miss_penalty: vec![6.0, 110.0],
+            tlb_penalty: 30.0,
+        }
+    }
+
+    /// The Itanium2 hierarchy with every capacity divided by `factor`
+    /// (line and page sizes kept). The reproduction runs meshes scaled down
+    /// from the paper's 50³–200³ to CI-friendly sizes; shrinking the caches
+    /// by the same factor preserves the *ratio* of working-set to cache
+    /// size, which is what determines every crossover in the figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` does not divide the capacities down to whole
+    /// sets.
+    pub fn itanium2_scaled(factor: u64) -> MemoryHierarchy {
+        let mut h = MemoryHierarchy::itanium2();
+        h.name = format!("Itanium2/{factor}");
+        for level in &mut h.levels {
+            *level = CacheConfig::new(
+                &level.name,
+                level.capacity / factor,
+                level.line_size,
+                level.assoc,
+            );
+        }
+        h.tlb = CacheConfig::tlb(
+            "TLB",
+            h.tlb.blocks() / factor,
+            h.tlb.line_size,
+            Assoc::Full,
+        );
+        h
+    }
+
+    /// Block sizes an analysis pass must measure at to feed every level of
+    /// this hierarchy: the distinct cache line sizes plus the page size.
+    pub fn required_granularities(&self) -> Vec<u64> {
+        let mut g: Vec<u64> = self.levels.iter().map(|l| l.line_size).collect();
+        g.push(self.tlb.line_size);
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    /// Finds a level by name.
+    pub fn level(&self, name: &str) -> Option<&CacheConfig> {
+        self.levels.iter().find(|l| l.name == name)
+    }
+}
+
+impl fmt::Display for MemoryHierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.name)?;
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "; {}]", self.tlb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itanium2_matches_paper_parameters() {
+        let h = MemoryHierarchy::itanium2();
+        let l2 = h.level("L2").unwrap();
+        assert_eq!(l2.capacity, 256 * 1024);
+        assert_eq!(l2.assoc, Assoc::Ways(8));
+        assert_eq!(l2.blocks(), 2048);
+        assert_eq!(l2.sets(), 256);
+        assert_eq!(l2.ways(), 8);
+        let l3 = h.level("L3").unwrap();
+        assert_eq!(l3.capacity, 1536 * 1024);
+        assert_eq!(l3.assoc, Assoc::Ways(6));
+        assert_eq!(h.tlb.blocks(), 128);
+        assert_eq!(h.tlb.ways(), 128);
+        assert_eq!(h.tlb.sets(), 1);
+        assert_eq!(h.required_granularities(), vec![128, 16 * 1024]);
+    }
+
+    #[test]
+    fn scaled_hierarchy_divides_capacities() {
+        let h = MemoryHierarchy::itanium2_scaled(8);
+        assert_eq!(h.level("L2").unwrap().capacity, 32 * 1024);
+        assert_eq!(h.level("L2").unwrap().line_size, 128);
+        assert_eq!(h.tlb.blocks(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide blocks")]
+    fn bad_ways_panics() {
+        CacheConfig::new("x", 1024, 128, Assoc::Ways(3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let h = MemoryHierarchy::itanium2();
+        let s = h.to_string();
+        assert!(s.contains("Itanium2"));
+        assert!(s.contains("L2: 256 KB"));
+        assert!(s.contains("fully-assoc"));
+    }
+}

@@ -1,0 +1,108 @@
+//! One-call program analysis: execute a program once, measure reuse at
+//! several granularities.
+
+use crate::analyzer::MultiGrainAnalyzer;
+use crate::patterns::ReuseProfile;
+use reuselens_ir::{ArrayId, Program};
+use reuselens_trace::{ExecError, ExecReport, Executor};
+
+/// The result of [`analyze_program`]: reuse profiles (one per granularity,
+/// in request order) plus the executor's dynamic statistics (loop trip
+/// counts, access totals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResult {
+    /// One profile per requested block size.
+    pub profiles: Vec<ReuseProfile>,
+    /// Dynamic execution statistics.
+    pub exec: ExecReport,
+}
+
+impl AnalysisResult {
+    /// The profile measured at the given block size.
+    pub fn profile_at(&self, block_size: u64) -> Option<&ReuseProfile> {
+        self.profiles.iter().find(|p| p.block_size == block_size)
+    }
+}
+
+/// Executes `program` once and measures reuse distances at every requested
+/// block size. Index arrays (for indirect accesses) are supplied as
+/// `(array, contents)` pairs.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from the executor (out-of-bounds access,
+/// missing index data).
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_core::analyze_program;
+/// use reuselens_ir::ProgramBuilder;
+///
+/// let mut p = ProgramBuilder::new("demo");
+/// let a = p.array("a", 8, &[256]);
+/// p.routine("main", |r| {
+///     r.for_("t", 0, 2, |r, _| {
+///         r.for_("i", 0, 255, |r, i| {
+///             r.load(a, vec![i.into()]);
+///         });
+///     });
+/// });
+/// let prog = p.finish();
+/// let result = analyze_program(&prog, &[64, 4096], vec![])?;
+/// assert_eq!(result.profiles.len(), 2);
+/// assert_eq!(result.exec.accesses, 3 * 256);
+/// # Ok::<(), reuselens_trace::ExecError>(())
+/// ```
+pub fn analyze_program(
+    program: &Program,
+    block_sizes: &[u64],
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+) -> Result<AnalysisResult, ExecError> {
+    let mut analyzer = MultiGrainAnalyzer::new(program, block_sizes);
+    let mut exec = Executor::new(program);
+    for (arr, data) in index_arrays {
+        exec.set_index_array(arr, data);
+    }
+    let report = exec.run(&mut analyzer)?;
+    Ok(AnalysisResult {
+        profiles: analyzer.finish(),
+        exec: report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuselens_ir::{Expr, ProgramBuilder};
+
+    #[test]
+    fn analyze_program_with_index_arrays() {
+        let mut p = ProgramBuilder::new("gather");
+        let ix = p.index_array("ix", &[8]);
+        let a = p.array("a", 8, &[64]);
+        p.routine("main", |r| {
+            r.for_("i", 0, 7, |r, i| {
+                r.load(a, vec![Expr::load(ix, vec![i.into()])]);
+            });
+        });
+        let prog = p.finish();
+        let idx: Vec<i64> = (0..8).map(|i| (i * 7) % 64).collect();
+        let result = analyze_program(&prog, &[64], vec![(ix, idx)]).unwrap();
+        assert_eq!(result.profiles[0].total_accesses, 8);
+        assert!(result.profile_at(64).is_some());
+        assert!(result.profile_at(128).is_none());
+    }
+
+    #[test]
+    fn missing_index_array_surfaces_error() {
+        let mut p = ProgramBuilder::new("gather");
+        let ix = p.index_array("ix", &[8]);
+        let a = p.array("a", 8, &[64]);
+        p.routine("main", |r| {
+            r.load(a, vec![Expr::load(ix, vec![Expr::c(0)])]);
+        });
+        let prog = p.finish();
+        assert!(analyze_program(&prog, &[64], vec![]).is_err());
+    }
+}

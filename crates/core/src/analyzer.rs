@@ -1,0 +1,373 @@
+//! The online reuse-distance analyzer — the paper's event handler.
+//!
+//! For every memory access the analyzer advances a logical clock, finds the
+//! block's previous access in the [block table](crate::BlockTable), counts
+//! the distinct blocks touched in between with the
+//! [order-statistic tree](crate::OrderStatTree), locates the carrying scope
+//! on the [dynamic scope stack](crate::ScopeStack), and records the distance
+//! in the histogram of the *(sink reference, source scope, carrying scope)*
+//! pattern.
+
+use crate::blocktable::BlockTable;
+use crate::histogram::Histogram;
+use crate::ostree::OrderStatTree;
+use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
+use crate::scopestack::ScopeStack;
+use reuselens_ir::{AccessKind, Program, RefId, ScopeId};
+use reuselens_trace::TraceSink;
+
+/// Per-sink pattern storage. The paper observes that each reference sees a
+/// small, fixed set of (source, carrier) combinations, so a short linear
+/// vector beats a hash map on the hot path.
+#[derive(Debug, Default)]
+struct SinkPatterns {
+    entries: Vec<(ScopeId, ScopeId, Histogram)>,
+}
+
+impl SinkPatterns {
+    #[inline]
+    fn record(&mut self, source: ScopeId, carrier: ScopeId, distance: u64) {
+        for (s, c, h) in &mut self.entries {
+            if *s == source && *c == carrier {
+                h.add(distance);
+                return;
+            }
+        }
+        let mut h = Histogram::new();
+        h.add(distance);
+        self.entries.push((source, carrier, h));
+    }
+}
+
+/// Measures reuse distances at one block granularity while a program
+/// executes.
+///
+/// Implements [`TraceSink`], so it can be plugged directly into
+/// [`Executor::run`](reuselens_trace::Executor::run) — alone, teed with
+/// other sinks, or grouped in a [`MultiGrainAnalyzer`].
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_core::ReuseAnalyzer;
+/// use reuselens_ir::ProgramBuilder;
+/// use reuselens_trace::Executor;
+///
+/// let mut p = ProgramBuilder::new("demo");
+/// let a = p.array("a", 8, &[64]);
+/// p.routine("main", |r| {
+///     r.for_("t", 0, 1, |r, _| {
+///         r.for_("i", 0, 63, |r, i| {
+///             r.load(a, vec![i.into()]);
+///         });
+///     });
+/// });
+/// let prog = p.finish();
+/// let mut analyzer = ReuseAnalyzer::new(&prog, 64);
+/// Executor::new(&prog).run(&mut analyzer)?;
+/// let profile = analyzer.finish();
+/// // 64 elements * 8 B = 8 cache lines; the second sweep reuses each at
+/// // distance 7 (the 7 other lines touched in between), carried by `t`.
+/// assert!(profile.accesses_balance());
+/// // Two patterns: short spatial reuse inside a line carried by `i`, and
+/// // the cross-sweep temporal reuse carried by `t`.
+/// let t = prog.scope_by_name("t").unwrap();
+/// assert_eq!(profile.patterns.len(), 2);
+/// assert_eq!(profile.patterns_carried_by(t).count(), 1);
+/// # Ok::<(), reuselens_trace::ExecError>(())
+/// ```
+#[derive(Debug)]
+pub struct ReuseAnalyzer {
+    block_shift: u32,
+    clock: u64,
+    table: BlockTable,
+    tree: OrderStatTree,
+    stack: ScopeStack,
+    per_sink: Vec<SinkPatterns>,
+    cold: Vec<u64>,
+    ref_scopes: Vec<ScopeId>,
+}
+
+impl ReuseAnalyzer {
+    /// Creates an analyzer at the given block size (must be a power of
+    /// two): cache-line size for cache studies, page size for TLB studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two.
+    pub fn new(program: &Program, block_size: u64) -> ReuseAnalyzer {
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let nrefs = program.references().len();
+        ReuseAnalyzer {
+            block_shift: block_size.trailing_zeros(),
+            clock: 0,
+            table: BlockTable::new(),
+            tree: OrderStatTree::new(),
+            stack: ScopeStack::new(),
+            per_sink: (0..nrefs).map(|_| SinkPatterns::default()).collect(),
+            cold: vec![0; nrefs],
+            ref_scopes: program.references().iter().map(|r| r.scope()).collect(),
+        }
+    }
+
+    /// Block size this analyzer measures at.
+    pub fn block_size(&self) -> u64 {
+        1 << self.block_shift
+    }
+
+    /// Accesses observed so far.
+    pub fn accesses(&self) -> u64 {
+        self.clock
+    }
+
+    /// Consumes the analyzer and produces the measured profile.
+    pub fn finish(self) -> ReuseProfile {
+        let mut patterns = Vec::new();
+        for (sink_idx, sp) in self.per_sink.into_iter().enumerate() {
+            for (source_scope, carrier, histogram) in sp.entries {
+                patterns.push(ReusePattern {
+                    key: PatternKey {
+                        sink: RefId(sink_idx as u32),
+                        source_scope,
+                        carrier,
+                    },
+                    histogram,
+                });
+            }
+        }
+        patterns.sort_by_key(|p| p.key);
+        ReuseProfile {
+            block_size: 1 << self.block_shift,
+            patterns,
+            cold: self.cold,
+            total_accesses: self.clock,
+            distinct_blocks: self.table.distinct_blocks(),
+        }
+    }
+}
+
+impl TraceSink for ReuseAnalyzer {
+    fn access(&mut self, r: RefId, addr: u64, _size: u32, _kind: AccessKind) {
+        let block = addr >> self.block_shift;
+        self.clock += 1;
+        let now = self.clock;
+        match self.table.get(block) {
+            Some(prev) => {
+                let distance = self.tree.count_greater(prev.time);
+                self.tree.remove(prev.time);
+                self.tree.insert(now);
+                let carrier = self.stack.carrier(prev.time);
+                let source = self.ref_scopes[prev.ref_id as usize];
+                self.per_sink[r.index()].record(source, carrier, distance);
+            }
+            None => {
+                self.cold[r.index()] += 1;
+                self.tree.insert(now);
+            }
+        }
+        self.table.set(block, now, r.0);
+    }
+
+    fn enter(&mut self, scope: ScopeId) {
+        self.stack.enter(scope, self.clock);
+    }
+
+    fn exit(&mut self, scope: ScopeId) {
+        self.stack.exit(scope);
+    }
+}
+
+/// Runs several [`ReuseAnalyzer`]s over one event stream — the paper
+/// measures line-granularity (cache) and page-granularity (TLB) reuse in a
+/// single execution.
+#[derive(Debug)]
+pub struct MultiGrainAnalyzer {
+    analyzers: Vec<ReuseAnalyzer>,
+}
+
+impl MultiGrainAnalyzer {
+    /// Creates one analyzer per requested block size.
+    pub fn new(program: &Program, block_sizes: &[u64]) -> MultiGrainAnalyzer {
+        MultiGrainAnalyzer {
+            analyzers: block_sizes
+                .iter()
+                .map(|&b| ReuseAnalyzer::new(program, b))
+                .collect(),
+        }
+    }
+
+    /// Finishes all analyzers, returning one profile per block size in the
+    /// order given at construction.
+    pub fn finish(self) -> Vec<ReuseProfile> {
+        self.analyzers.into_iter().map(ReuseAnalyzer::finish).collect()
+    }
+}
+
+impl TraceSink for MultiGrainAnalyzer {
+    fn access(&mut self, r: RefId, addr: u64, size: u32, kind: AccessKind) {
+        for a in &mut self.analyzers {
+            a.access(r, addr, size, kind);
+        }
+    }
+    fn enter(&mut self, scope: ScopeId) {
+        for a in &mut self.analyzers {
+            a.enter(scope);
+        }
+    }
+    fn exit(&mut self, scope: ScopeId) {
+        for a in &mut self.analyzers {
+            a.exit(scope);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuselens_ir::{Expr, ProgramBuilder};
+    use reuselens_trace::Executor;
+
+    /// Streaming over a large array twice: every line is cold once, then
+    /// reused at distance = (lines - 1), carried by the repeat loop.
+    #[test]
+    fn two_sweeps_reuse_at_footprint_distance() {
+        let n = 512u64; // elements; 8 B each => 64 lines of 64 B
+        let mut p = ProgramBuilder::new("sweep2");
+        let a = p.array("a", 8, &[n]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 1, |r, _| {
+                r.for_("i", 0, (n - 1) as i64, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let mut an = ReuseAnalyzer::new(&prog, 64);
+        Executor::new(&prog).run(&mut an).unwrap();
+        let profile = an.finish();
+        let lines = n * 8 / 64;
+        assert_eq!(profile.total_accesses, 2 * n);
+        assert_eq!(profile.distinct_blocks, lines);
+        // Within-line spatial reuses (7 per line per sweep) + cross-sweep
+        // temporal reuses.
+        assert!(profile.accesses_balance());
+        let t = prog.scope_by_name("t").unwrap();
+        let i = prog.scope_by_name("i").unwrap();
+        // The long reuses (distance = lines-1) are carried by t.
+        let carried_by_t: u64 = profile
+            .patterns_carried_by(t)
+            .map(|p| p.count())
+            .sum();
+        assert_eq!(carried_by_t, lines); // one reuse per line on sweep 2
+        let long = profile
+            .patterns_carried_by(t)
+            .flat_map(|p| p.histogram.iter())
+            .map(|(lo, _, c)| (lo, c))
+            .next()
+            .unwrap();
+        assert_eq!(long.0, lines - 1);
+        // Short spatial reuses (distance 0, same line) carried by i.
+        let carried_by_i: u64 = profile
+            .patterns_carried_by(i)
+            .map(|p| p.count())
+            .sum();
+        assert_eq!(carried_by_i, 2 * n - lines - lines);
+    }
+
+    /// The paper's carrying-scope example: data accessed in two sibling
+    /// loops, reuse carried by their common parent.
+    #[test]
+    fn cross_loop_reuse_is_carried_by_parent() {
+        let n = 64u64;
+        let mut p = ProgramBuilder::new("fuse");
+        let a = p.array("a", 8, &[n]);
+        p.routine("main", |r| {
+            r.for_("outer", 0, 0, |r, _| {
+                r.for_("first", 0, (n - 1) as i64, |r, i| {
+                    r.store(a, vec![i.into()]);
+                });
+                r.for_("second", 0, (n - 1) as i64, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let mut an = ReuseAnalyzer::new(&prog, 64);
+        Executor::new(&prog).run(&mut an).unwrap();
+        let profile = an.finish();
+        let outer = prog.scope_by_name("outer").unwrap();
+        let first = prog.scope_by_name("first").unwrap();
+        let load_ref = prog.references()[1].id();
+        // Reuses ending at the load whose source is the store loop must be
+        // carried by `outer`, not by either inner loop.
+        let cross: Vec<_> = profile
+            .patterns_for_sink(load_ref)
+            .filter(|p| p.key.source_scope == first)
+            .collect();
+        assert!(!cross.is_empty());
+        for pat in cross {
+            assert_eq!(pat.key.carrier, outer);
+        }
+    }
+
+    /// Reuse between iterations of one loop is carried by that loop.
+    #[test]
+    fn loop_carried_reuse_attributes_to_the_loop() {
+        let mut p = ProgramBuilder::new("stencil");
+        let a = p.array("a", 8, &[4]);
+        p.routine("main", |r| {
+            r.for_("i", 0, 99, |r, _| {
+                r.load(a, vec![Expr::c(0)]); // same element every iteration
+            });
+        });
+        let prog = p.finish();
+        let mut an = ReuseAnalyzer::new(&prog, 64);
+        Executor::new(&prog).run(&mut an).unwrap();
+        let profile = an.finish();
+        let i = prog.scope_by_name("i").unwrap();
+        assert_eq!(profile.patterns.len(), 1);
+        assert_eq!(profile.patterns[0].key.carrier, i);
+        assert_eq!(profile.patterns[0].count(), 99);
+        // all at distance 0
+        assert_eq!(profile.patterns[0].histogram.count_ge(1), 0.0);
+    }
+
+    /// Page-granularity analysis sees fewer distinct blocks than
+    /// line-granularity.
+    #[test]
+    fn multi_grain_page_profile_is_coarser() {
+        let n = 4096u64;
+        let mut p = ProgramBuilder::new("grain");
+        let a = p.array("a", 8, &[n]);
+        p.routine("main", |r| {
+            r.for_("i", 0, (n - 1) as i64, |r, i| {
+                r.load(a, vec![i.into()]);
+            });
+        });
+        let prog = p.finish();
+        let mut mg = MultiGrainAnalyzer::new(&prog, &[64, 4096]);
+        Executor::new(&prog).run(&mut mg).unwrap();
+        let profiles = mg.finish();
+        assert_eq!(profiles[0].block_size, 64);
+        assert_eq!(profiles[1].block_size, 4096);
+        assert!(profiles[0].distinct_blocks > profiles[1].distinct_blocks);
+        assert_eq!(profiles[0].total_accesses, profiles[1].total_accesses);
+        assert!(profiles[0].accesses_balance());
+        assert!(profiles[1].accesses_balance());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_block_panics() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[4]);
+        p.routine("main", |r| {
+            r.load(a, vec![Expr::c(0)]);
+        });
+        let prog = p.finish();
+        let _ = ReuseAnalyzer::new(&prog, 48);
+    }
+}

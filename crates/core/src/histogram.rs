@@ -1,0 +1,353 @@
+//! Reuse-distance histograms with logarithmic binning.
+//!
+//! The paper keeps *many small histograms* — one per reuse pattern — instead
+//! of few large ones. Distances below [`LINEAR_LIMIT`] get exact unit bins;
+//! larger distances share power-of-two octaves split into
+//! [`SUBBINS_PER_OCTAVE`] linear sub-bins, so space per histogram is bounded
+//! regardless of the program's footprint while relative error stays under
+//! `1/SUBBINS_PER_OCTAVE`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Distances below this are binned exactly.
+const LINEAR_LIMIT: u64 = 256;
+/// Sub-bins per power-of-two octave above the linear range.
+const SUBBINS_PER_OCTAVE: u64 = 16;
+
+/// Maps a distance to its bin index.
+fn bin_of(distance: u64) -> u32 {
+    if distance < LINEAR_LIMIT {
+        return distance as u32;
+    }
+    let octave = 63 - distance.leading_zeros() as u64; // floor(log2 d), >= 8
+    let lo = 1u64 << octave;
+    let sub = (distance - lo) * SUBBINS_PER_OCTAVE / lo;
+    (LINEAR_LIMIT + (octave - LINEAR_LIMIT.trailing_zeros() as u64) * SUBBINS_PER_OCTAVE + sub)
+        as u32
+}
+
+/// Returns the `[low, high)` distance range covered by a bin.
+fn range_of(bin: u32) -> (u64, u64) {
+    let bin = bin as u64;
+    if bin < LINEAR_LIMIT {
+        return (bin, bin + 1);
+    }
+    let rel = bin - LINEAR_LIMIT;
+    let octave = rel / SUBBINS_PER_OCTAVE + LINEAR_LIMIT.trailing_zeros() as u64;
+    let sub = rel % SUBBINS_PER_OCTAVE;
+    let lo = 1u64 << octave;
+    let width = lo / SUBBINS_PER_OCTAVE;
+    (lo + sub * width, lo + (sub + 1) * width)
+}
+
+/// A histogram of memory-reuse distances.
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_core::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.add(3);
+/// h.add(3);
+/// h.add(100_000);
+/// assert_eq!(h.total(), 3);
+/// // Everything at distance >= 1024 would miss in a 1024-block cache:
+/// assert_eq!(h.count_ge(1024), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    bins: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one reuse at the given distance (number of distinct blocks
+    /// accessed between the pair of accesses).
+    pub fn add(&mut self, distance: u64) {
+        self.add_n(distance, 1);
+    }
+
+    /// Records `count` reuses at the same distance.
+    pub fn add_n(&mut self, distance: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.bins.entry(bin_of(distance)).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Total recorded reuses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of occupied bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Iterates `(low, high, count)` over occupied bins in increasing
+    /// distance order; each bin covers distances in `[low, high)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.bins.iter().map(|(&b, &c)| {
+            let (lo, hi) = range_of(b);
+            (lo, hi, c)
+        })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&b, &c) in &other.bins {
+            *self.bins.entry(b).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of reuses with distance `>= threshold`, interpolating linearly
+    /// inside the bin that straddles the threshold. This is the
+    /// fully-associative-LRU miss count for a cache of `threshold` blocks.
+    pub fn count_ge(&self, threshold: u64) -> f64 {
+        let mut count = 0.0;
+        for (lo, hi, c) in self.iter() {
+            if lo >= threshold {
+                count += c as f64;
+            } else if hi > threshold {
+                // straddling bin: assume uniform distribution inside it
+                let frac = (hi - threshold) as f64 / (hi - lo) as f64;
+                count += c as f64 * frac;
+            }
+        }
+        count
+    }
+
+    /// Expected miss count for this histogram under an arbitrary
+    /// distance-to-miss-probability function (used by the set-associative
+    /// model). `miss_prob` receives a representative distance per bin.
+    pub fn expected_misses(&self, mut miss_prob: impl FnMut(u64) -> f64) -> f64 {
+        self.iter()
+            .map(|(lo, hi, c)| {
+                let mid = lo + (hi - lo) / 2;
+                c as f64 * miss_prob(mid)
+            })
+            .sum()
+    }
+
+    /// Mean reuse distance (bin midpoints weighted by counts); `None` when
+    /// empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .iter()
+            .map(|(lo, hi, c)| (lo + (hi - lo) / 2) as f64 * c as f64)
+            .sum();
+        Some(sum / self.total as f64)
+    }
+
+    /// The distance below which fraction `q` of reuses fall
+    /// (`0.0 <= q <= 1.0`); `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut seen = 0.0;
+        let mut last = 0;
+        for (lo, hi, c) in self.iter() {
+            seen += c as f64;
+            last = hi - 1;
+            if seen >= target {
+                return Some(lo + (hi - 1 - lo) / 2);
+            }
+        }
+        Some(last)
+    }
+
+    /// Splits the histogram mass into `n` equal-count slices and returns a
+    /// representative distance per slice (used by the cross-input scaling
+    /// model). Empty histograms give an empty vector.
+    pub fn quantile_slices(&self, n: usize) -> Vec<f64> {
+        if self.total == 0 || n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let q = (k as f64 + 0.5) / n as f64;
+            out.push(self.quantile(q).unwrap_or(0) as f64);
+        }
+        out
+    }
+
+    /// Largest recorded distance (upper bound of the top bin), or `None`.
+    pub fn max_distance(&self) -> Option<u64> {
+        self.bins.keys().next_back().map(|&b| range_of(b).1 - 1)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hist[n={}", self.total)?;
+        for (lo, hi, c) in self.iter() {
+            write!(f, " {lo}..{hi}:{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> Extend<&'a u64> for Histogram {
+    fn extend<T: IntoIterator<Item = &'a u64>>(&mut self, iter: T) {
+        for &d in iter {
+            self.add(d);
+        }
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for d in iter {
+            self.add(d);
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Histogram {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_distances_are_exact() {
+        for d in 0..LINEAR_LIMIT {
+            let b = bin_of(d);
+            assert_eq!(range_of(b), (d, d + 1));
+        }
+    }
+
+    #[test]
+    fn bins_tile_the_line() {
+        // Consecutive bins cover adjacent, non-overlapping ranges.
+        let mut prev_hi = 0;
+        let mut b = 0;
+        while prev_hi < 1 << 24 {
+            let (lo, hi) = range_of(b);
+            assert_eq!(lo, prev_hi, "gap before bin {b}");
+            assert!(hi > lo);
+            prev_hi = hi;
+            b += 1;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn bin_of_is_consistent_with_range(d in 0u64..(1 << 40)) {
+            let (lo, hi) = range_of(bin_of(d));
+            prop_assert!(lo <= d && d < hi);
+        }
+
+        #[test]
+        fn relative_bin_width_is_bounded(d in LINEAR_LIMIT..(1 << 40)) {
+            let (lo, hi) = range_of(bin_of(d));
+            prop_assert!(((hi - lo) as f64) <= lo as f64 / SUBBINS_PER_OCTAVE as f64 + 1.0);
+        }
+
+        #[test]
+        fn count_ge_matches_naive_within_bin_error(
+            mut ds in proptest::collection::vec(0u64..100_000, 1..200),
+            thr in 0u64..100_000,
+        ) {
+            let h: Histogram = ds.iter().copied().collect();
+            ds.sort_unstable();
+            let naive = ds.iter().filter(|&&d| d >= thr).count() as f64;
+            let approx = h.count_ge(thr);
+            // error bounded by the count in the straddling bin
+            let (lo, hi) = range_of(bin_of(thr.min(99_999)));
+            let straddle = ds.iter().filter(|&&d| d >= lo && d < hi).count() as f64;
+            prop_assert!((approx - naive).abs() <= straddle + 1e-9);
+        }
+
+        #[test]
+        fn merge_preserves_totals(
+            a in proptest::collection::vec(0u64..1_000_000, 0..100),
+            b in proptest::collection::vec(0u64..1_000_000, 0..100),
+        ) {
+            let ha: Histogram = a.iter().copied().collect();
+            let hb: Histogram = b.iter().copied().collect();
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+            prop_assert_eq!(merged.total(), ha.total() + hb.total());
+            let all: Histogram = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(merged, all);
+        }
+    }
+
+    #[test]
+    fn count_ge_interpolates_inside_bin() {
+        let mut h = Histogram::new();
+        // 16 values in one bin [4096, 4352): put them all at 4096
+        for _ in 0..16 {
+            h.add(4096);
+        }
+        let (lo, hi) = range_of(bin_of(4096));
+        let mid = lo + (hi - lo) / 2;
+        let c = h.count_ge(mid);
+        assert!((c - 8.0).abs() < 1.0, "expected ~8, got {c}");
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let h: Histogram = [10u64, 20, 30, 40].into_iter().collect();
+        assert!((h.mean().unwrap() - 25.0).abs() < 1.0);
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert!(h.quantile(1.0).unwrap() >= 40);
+        assert!(Histogram::new().mean().is_none());
+        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_slices_cover_distribution() {
+        let h: Histogram = (0..1000u64).collect();
+        let slices = h.quantile_slices(4);
+        assert_eq!(slices.len(), 4);
+        assert!(slices.windows(2).all(|w| w[0] <= w[1]));
+        assert!(slices[0] < 300.0 && slices[3] > 700.0);
+    }
+
+    #[test]
+    fn display_lists_bins() {
+        let h: Histogram = [1u64, 1, 2].into_iter().collect();
+        assert_eq!(h.to_string(), "hist[n=3 1..2:2 2..3:1]");
+    }
+
+    #[test]
+    fn expected_misses_applies_probability() {
+        let h: Histogram = [100u64; 10].into_iter().collect();
+        let m = h.expected_misses(|_| 0.25);
+        assert!((m - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! # reuselens-core — online reuse-distance analysis
+//!
+//! The primary contribution of the reproduced paper: measuring memory reuse
+//! distance *per reuse pattern*. A reuse pattern is the triple
+//! *(sink reference, source scope, carrying scope)*:
+//!
+//! * the **sink** is the reference at the destination end of a reuse arc;
+//! * the **source scope** is where the block was last accessed before;
+//! * the **carrying scope** is the innermost dynamic scope active across
+//!   the whole reuse interval — the loop that *drives* the reuse, and the
+//!   one a transformation must target to shorten the distance.
+//!
+//! The machinery follows the paper exactly:
+//!
+//! * a logical **access clock** incremented per memory operation;
+//! * a [three-level hierarchical block table](BlockTable) mapping each
+//!   block to its last access time and last accessor;
+//! * a [balanced order-statistic tree](OrderStatTree) that counts the
+//!   distinct blocks accessed since any past time in `O(log M)`;
+//! * a [dynamic scope stack](ScopeStack) searched for the carrying scope;
+//! * per-pattern [histograms](Histogram) with logarithmic bins.
+//!
+//! Start with [`analyze_program`] for the one-call API, or drive a
+//! [`ReuseAnalyzer`] / [`MultiGrainAnalyzer`] through
+//! [`reuselens_trace::Executor`] yourself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod analyzer;
+mod blocktable;
+mod context;
+mod histogram;
+pub mod oracle;
+mod ostree;
+mod patterns;
+mod scopestack;
+mod serialize;
+mod spatial;
+
+pub use analyze::{analyze_program, AnalysisResult};
+pub use analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
+pub use blocktable::{BlockEntry, BlockTable, MAX_BLOCKS};
+pub use context::{ContextAnalyzer, ContextId, ContextProfile, CtxPattern, CtxPatternKey};
+pub use histogram::Histogram;
+pub use ostree::OrderStatTree;
+pub use patterns::{PatternKey, ReusePattern, ReuseProfile};
+pub use scopestack::ScopeStack;
+pub use serialize::{read_profiles, write_profiles, ReadError, SavedProfiles};
+pub use spatial::{measure_spatial, ArraySpatial, SpatialProfile, SpatialSink};

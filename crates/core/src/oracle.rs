@@ -1,0 +1,83 @@
+//! Brute-force reference implementations used to validate the analyzer.
+//!
+//! These are `O(N·M)` and exist so that property tests can compare the
+//! tree-based analyzer against an obviously correct implementation of
+//! LRU stack distance.
+
+/// Computes the reuse distance of every access in an address trace at the
+/// given block size: `None` for first touches (cold), otherwise the number
+/// of distinct blocks accessed since the previous access to the same block.
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_core::oracle::stack_distances;
+///
+/// // blocks: A B A  (block size 64)
+/// let d = stack_distances(&[0, 64, 0], 64);
+/// assert_eq!(d, vec![None, None, Some(1)]);
+/// ```
+pub fn stack_distances(addresses: &[u64], block_size: u64) -> Vec<Option<u64>> {
+    assert!(block_size.is_power_of_two());
+    let shift = block_size.trailing_zeros();
+    // LRU stack of blocks, most recent first.
+    let mut stack: Vec<u64> = Vec::new();
+    let mut out = Vec::with_capacity(addresses.len());
+    for &addr in addresses {
+        let block = addr >> shift;
+        match stack.iter().position(|&b| b == block) {
+            Some(pos) => {
+                out.push(Some(pos as u64));
+                stack.remove(pos);
+                stack.insert(0, block);
+            }
+            None => {
+                out.push(None);
+                stack.insert(0, block);
+            }
+        }
+    }
+    out
+}
+
+/// Simulates a fully associative LRU cache of `capacity_blocks` blocks over
+/// an address trace, returning the number of misses (cold included).
+pub fn fully_associative_misses(addresses: &[u64], block_size: u64, capacity_blocks: usize) -> u64 {
+    stack_distances(addresses, block_size)
+        .into_iter()
+        .filter(|d| match d {
+            None => true,
+            Some(d) => *d as usize >= capacity_blocks,
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_count_distinct_intervening_blocks() {
+        // blocks: A B C B A
+        let addrs = [0u64, 64, 128, 64, 0];
+        let d = stack_distances(&addrs, 64);
+        assert_eq!(
+            d,
+            vec![None, None, None, Some(1), Some(2)]
+        );
+    }
+
+    #[test]
+    fn repeated_block_is_distance_zero() {
+        let d = stack_distances(&[8, 16, 24], 64);
+        assert_eq!(d, vec![None, Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn fa_misses_equal_distance_threshold() {
+        // A B A with capacity 1: second A misses (distance 1 >= 1).
+        assert_eq!(fully_associative_misses(&[0, 64, 0], 64, 1), 3);
+        // capacity 2: second A hits.
+        assert_eq!(fully_associative_misses(&[0, 64, 0], 64, 2), 2);
+    }
+}

@@ -1,0 +1,396 @@
+//! Order-statistic balanced tree over last-access timestamps.
+//!
+//! This is the paper's "balanced binary tree with a node for each memory
+//! block referenced by the program", keyed by the logical time of the
+//! block's last access. On every access the analyzer asks *how many
+//! distinct blocks were accessed after time t* — [`OrderStatTree::count_greater`]
+//! answers in `O(log M)` — then moves the touched block's node to the
+//! current time.
+//!
+//! The implementation is an arena-allocated AVL tree with subtree sizes;
+//! freed nodes are recycled so long executions do not grow the arena past
+//! the footprint's block count.
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+    height: u8,
+}
+
+/// A set of unique `u64` keys supporting `O(log n)` insert, remove, and
+/// count-greater queries.
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_core::OrderStatTree;
+///
+/// let mut t = OrderStatTree::new();
+/// for k in [5u64, 1, 9, 3] {
+///     t.insert(k);
+/// }
+/// assert_eq!(t.count_greater(3), 2); // 5 and 9
+/// assert!(t.remove(5));
+/// assert_eq!(t.count_greater(3), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OrderStatTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+}
+
+impl OrderStatTree {
+    /// Creates an empty tree.
+    pub fn new() -> OrderStatTree {
+        OrderStatTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    /// Creates an empty tree with capacity for `n` keys.
+    pub fn with_capacity(n: usize) -> OrderStatTree {
+        OrderStatTree {
+            nodes: Vec::with_capacity(n),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.size(self.root) as usize
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Inserts a key. Returns `false` (and changes nothing) if the key was
+    /// already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let (root, inserted) = self.insert_at(self.root, key);
+        self.root = root;
+        inserted
+    }
+
+    /// Removes a key. Returns `false` if it was absent.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let (root, removed) = self.remove_at(self.root, key);
+        self.root = root;
+        removed
+    }
+
+    /// Counts keys strictly greater than `key` (which need not be present).
+    pub fn count_greater(&self, key: u64) -> u64 {
+        let mut n = self.root;
+        let mut count = 0u64;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if key < node.key {
+                count += self.size(node.right) as u64 + 1;
+                n = node.left;
+            } else if key > node.key {
+                n = node.right;
+            } else {
+                count += self.size(node.right) as u64;
+                break;
+            }
+        }
+        count
+    }
+
+    /// True when the key is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if key < node.key {
+                n = node.left;
+            } else if key > node.key {
+                n = node.right;
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn height(&self, n: u32) -> i32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].height as i32
+        }
+    }
+
+    fn alloc(&mut self, key: u64) -> u32 {
+        let node = Node {
+            key,
+            left: NIL,
+            right: NIL,
+            size: 1,
+            height: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn update(&mut self, n: u32) {
+        let (l, r) = {
+            let node = &self.nodes[n as usize];
+            (node.left, node.right)
+        };
+        let size = 1 + self.size(l) + self.size(r);
+        let height = 1 + self.height(l).max(self.height(r)) as u8;
+        let node = &mut self.nodes[n as usize];
+        node.size = size;
+        node.height = height;
+    }
+
+    fn balance_factor(&self, n: u32) -> i32 {
+        let node = &self.nodes[n as usize];
+        self.height(node.left) - self.height(node.right)
+    }
+
+    fn rotate_right(&mut self, n: u32) -> u32 {
+        let l = self.nodes[n as usize].left;
+        let lr = self.nodes[l as usize].right;
+        self.nodes[n as usize].left = lr;
+        self.nodes[l as usize].right = n;
+        self.update(n);
+        self.update(l);
+        l
+    }
+
+    fn rotate_left(&mut self, n: u32) -> u32 {
+        let r = self.nodes[n as usize].right;
+        let rl = self.nodes[r as usize].left;
+        self.nodes[n as usize].right = rl;
+        self.nodes[r as usize].left = n;
+        self.update(n);
+        self.update(r);
+        r
+    }
+
+    fn rebalance(&mut self, n: u32) -> u32 {
+        self.update(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            if self.balance_factor(self.nodes[n as usize].left) < 0 {
+                let new_left = self.rotate_left(self.nodes[n as usize].left);
+                self.nodes[n as usize].left = new_left;
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            if self.balance_factor(self.nodes[n as usize].right) > 0 {
+                let new_right = self.rotate_right(self.nodes[n as usize].right);
+                self.nodes[n as usize].right = new_right;
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    fn insert_at(&mut self, n: u32, key: u64) -> (u32, bool) {
+        if n == NIL {
+            return (self.alloc(key), true);
+        }
+        let nk = self.nodes[n as usize].key;
+        let inserted = if key < nk {
+            let (child, ins) = self.insert_at(self.nodes[n as usize].left, key);
+            self.nodes[n as usize].left = child;
+            ins
+        } else if key > nk {
+            let (child, ins) = self.insert_at(self.nodes[n as usize].right, key);
+            self.nodes[n as usize].right = child;
+            ins
+        } else {
+            return (n, false);
+        };
+        (self.rebalance(n), inserted)
+    }
+
+    fn remove_at(&mut self, n: u32, key: u64) -> (u32, bool) {
+        if n == NIL {
+            return (NIL, false);
+        }
+        let nk = self.nodes[n as usize].key;
+        let removed;
+        if key < nk {
+            let (child, rem) = self.remove_at(self.nodes[n as usize].left, key);
+            self.nodes[n as usize].left = child;
+            removed = rem;
+        } else if key > nk {
+            let (child, rem) = self.remove_at(self.nodes[n as usize].right, key);
+            self.nodes[n as usize].right = child;
+            removed = rem;
+        } else {
+            let (left, right) = {
+                let node = &self.nodes[n as usize];
+                (node.left, node.right)
+            };
+            self.free.push(n);
+            if left == NIL {
+                return (right, true);
+            }
+            if right == NIL {
+                return (left, true);
+            }
+            // Replace with successor (min of right subtree).
+            let succ_key = self.min_key(right);
+            let (new_right, _) = self.remove_at(right, succ_key);
+            let replacement = self.alloc(succ_key);
+            self.nodes[replacement as usize].left = left;
+            self.nodes[replacement as usize].right = new_right;
+            return (self.rebalance(replacement), true);
+        }
+        (self.rebalance(n), removed)
+    }
+
+    fn min_key(&self, mut n: u32) -> u64 {
+        loop {
+            let node = &self.nodes[n as usize];
+            if node.left == NIL {
+                return node.key;
+            }
+            n = node.left;
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn rec(t: &OrderStatTree, n: u32, lo: Option<u64>, hi: Option<u64>) -> (u32, i32) {
+            if n == NIL {
+                return (0, 0);
+            }
+            let node = &t.nodes[n as usize];
+            if let Some(lo) = lo {
+                assert!(node.key > lo, "bst order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(node.key < hi, "bst order violated");
+            }
+            let (ls, lh) = rec(t, node.left, lo, Some(node.key));
+            let (rs, rh) = rec(t, node.right, Some(node.key), hi);
+            assert_eq!(node.size, 1 + ls + rs, "size invariant violated");
+            assert_eq!(node.height as i32, 1 + lh.max(rh), "height invariant");
+            assert!((lh - rh).abs() <= 1, "avl balance violated");
+            (node.size, node.height as i32)
+        }
+        rec(self, self.root, None, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn basic_insert_count_remove() {
+        let mut t = OrderStatTree::new();
+        assert!(t.is_empty());
+        for k in [10u64, 5, 20, 1, 7] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(10));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.count_greater(0), 5);
+        assert_eq!(t.count_greater(5), 3);
+        assert_eq!(t.count_greater(6), 3); // absent key
+        assert_eq!(t.count_greater(20), 0);
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.count_greater(1), 3);
+        assert!(t.contains(7));
+        assert!(!t.contains(5));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn monotone_insert_then_random_removes() {
+        // The analyzer's access pattern: keys inserted in increasing order,
+        // removed in arbitrary order.
+        let mut t = OrderStatTree::new();
+        for k in 0..1000u64 {
+            t.insert(k);
+        }
+        t.check_invariants();
+        assert_eq!(t.count_greater(499), 500);
+        let mut k = 0;
+        while k < 1000 {
+            assert!(t.remove(k));
+            k += 3;
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000 - 334);
+    }
+
+    #[test]
+    fn arena_recycles_freed_nodes() {
+        let mut t = OrderStatTree::new();
+        for round in 0..10u64 {
+            for k in 0..100 {
+                t.insert(round * 100 + k);
+            }
+            for k in 0..100 {
+                t.remove(round * 100 + k);
+            }
+        }
+        // Steady-state churn should not grow the arena without bound.
+        assert!(t.nodes.len() <= 220, "arena grew to {}", t.nodes.len());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreeset_reference(
+            ops in proptest::collection::vec((0u8..3, 0u64..500), 1..400)
+        ) {
+            let mut t = OrderStatTree::new();
+            let mut set = BTreeSet::new();
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(t.insert(key), set.insert(key));
+                    }
+                    1 => {
+                        prop_assert_eq!(t.remove(key), set.remove(&key));
+                    }
+                    _ => {
+                        let expected = set.range(key + 1..).count() as u64;
+                        prop_assert_eq!(t.count_greater(key), expected);
+                    }
+                }
+                prop_assert_eq!(t.len(), set.len());
+            }
+            t.check_invariants();
+        }
+    }
+}

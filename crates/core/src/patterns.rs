@@ -1,0 +1,144 @@
+//! Reuse patterns: reuse-distance histograms attributed to
+//! *(sink reference, source scope, carrying scope)* triples, and the
+//! profiles that collect them.
+
+use crate::histogram::Histogram;
+use reuselens_ir::{RefId, ScopeId};
+
+/// Identifies one reuse pattern: reuses that end at `sink`, whose previous
+/// access happened in `source_scope`, carried by `carrier`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternKey {
+    /// The reference at the destination end of the reuse arcs.
+    pub sink: RefId,
+    /// Static scope of the reference that last touched the block.
+    pub source_scope: ScopeId,
+    /// Innermost dynamic scope active across the whole reuse interval —
+    /// the loop driving the reuse.
+    pub carrier: ScopeId,
+}
+
+/// One reuse pattern with its measured distance histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReusePattern {
+    /// The pattern identity.
+    pub key: PatternKey,
+    /// Distances of all reuse arcs in this pattern.
+    pub histogram: Histogram,
+}
+
+impl ReusePattern {
+    /// Number of reuse arcs recorded.
+    pub fn count(&self) -> u64 {
+        self.histogram.total()
+    }
+}
+
+/// Everything measured at one block granularity: all reuse patterns plus
+/// per-reference cold (first-touch) access counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseProfile {
+    /// Block size in bytes this profile was measured at (cache-line size
+    /// for cache studies, page size for TLB studies).
+    pub block_size: u64,
+    /// All observed patterns, sorted by key.
+    pub patterns: Vec<ReusePattern>,
+    /// Cold accesses per reference (indexed by [`RefId`]); these are the
+    /// compulsory misses.
+    pub cold: Vec<u64>,
+    /// Total memory accesses observed.
+    pub total_accesses: u64,
+    /// Distinct blocks touched (the measured footprint in blocks).
+    pub distinct_blocks: u64,
+}
+
+impl ReuseProfile {
+    /// All patterns whose sink is `r`.
+    pub fn patterns_for_sink(&self, r: RefId) -> impl Iterator<Item = &ReusePattern> {
+        self.patterns.iter().filter(move |p| p.key.sink == r)
+    }
+
+    /// All patterns carried by `scope`.
+    pub fn patterns_carried_by(&self, scope: ScopeId) -> impl Iterator<Item = &ReusePattern> {
+        self.patterns.iter().filter(move |p| p.key.carrier == scope)
+    }
+
+    /// Cold accesses of one reference.
+    pub fn cold_of(&self, r: RefId) -> u64 {
+        self.cold.get(r.index()).copied().unwrap_or(0)
+    }
+
+    /// Total cold (compulsory) accesses.
+    pub fn total_cold(&self) -> u64 {
+        self.cold.iter().sum()
+    }
+
+    /// Total reuse arcs across all patterns.
+    pub fn total_reuses(&self) -> u64 {
+        self.patterns.iter().map(ReusePattern::count).sum()
+    }
+
+    /// Merges all pattern histograms of one sink into a single histogram
+    /// (the coarse per-reference view earlier tools collected).
+    pub fn merged_histogram_for_sink(&self, r: RefId) -> Histogram {
+        let mut h = Histogram::new();
+        for p in self.patterns_for_sink(r) {
+            h.merge(&p.histogram);
+        }
+        h
+    }
+
+    /// Sanity invariant: every access is either a cold touch or one reuse.
+    pub fn accesses_balance(&self) -> bool {
+        self.total_cold() + self.total_reuses() == self.total_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(sink: u32, src: u32, car: u32, dists: &[u64]) -> ReusePattern {
+        ReusePattern {
+            key: PatternKey {
+                sink: RefId(sink),
+                source_scope: ScopeId(src),
+                carrier: ScopeId(car),
+            },
+            histogram: dists.iter().copied().collect(),
+        }
+    }
+
+    fn profile() -> ReuseProfile {
+        ReuseProfile {
+            block_size: 64,
+            patterns: vec![
+                pattern(0, 1, 2, &[5, 5, 9]),
+                pattern(0, 3, 2, &[100]),
+                pattern(1, 1, 4, &[7]),
+            ],
+            cold: vec![2, 1],
+            total_accesses: 8,
+            distinct_blocks: 3,
+        }
+    }
+
+    #[test]
+    fn per_sink_and_per_carrier_queries() {
+        let p = profile();
+        assert_eq!(p.patterns_for_sink(RefId(0)).count(), 2);
+        assert_eq!(p.patterns_carried_by(ScopeId(2)).count(), 2);
+        assert_eq!(p.cold_of(RefId(0)), 2);
+        assert_eq!(p.cold_of(RefId(9)), 0);
+        assert_eq!(p.total_cold(), 3);
+        assert_eq!(p.total_reuses(), 5);
+        assert!(p.accesses_balance());
+    }
+
+    #[test]
+    fn merged_histogram_sums_sink_patterns() {
+        let p = profile();
+        let h = p.merged_histogram_for_sink(RefId(0));
+        assert_eq!(h.total(), 4);
+    }
+}

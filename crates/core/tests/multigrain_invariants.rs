@@ -1,0 +1,107 @@
+//! Cross-granularity invariants of the analyzer, checked on random
+//! traces: the properties the paper relies on when it measures cache
+//! (line) and TLB (page) behaviour in a single pass.
+
+use proptest::prelude::*;
+use reuselens_core::{MultiGrainAnalyzer, ReuseAnalyzer};
+use reuselens_ir::{AccessKind, Expr, ProgramBuilder, RefId};
+use reuselens_trace::TraceSink;
+
+fn dummy_program() -> reuselens_ir::Program {
+    let mut p = ProgramBuilder::new("dummy");
+    let a = p.array("a", 8, &[1]);
+    p.routine("main", |r| {
+        r.load(a, vec![Expr::c(0)]);
+    });
+    p.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coarser blocks can only merge lines: fewer (or equal) distinct
+    /// blocks, identical access totals, fewer (or equal) cold misses.
+    #[test]
+    fn coarser_granularity_merges_blocks(
+        addrs in proptest::collection::vec(0u64..1 << 16, 1..400),
+    ) {
+        let prog = dummy_program();
+        let mut mg = MultiGrainAnalyzer::new(&prog, &[64, 4096]);
+        for &a in &addrs {
+            mg.access(RefId(0), a, 8, AccessKind::Load);
+        }
+        let profiles = mg.finish();
+        let (fine, coarse) = (&profiles[0], &profiles[1]);
+        prop_assert_eq!(fine.total_accesses, coarse.total_accesses);
+        prop_assert!(coarse.distinct_blocks <= fine.distinct_blocks);
+        prop_assert!(coarse.total_cold() <= fine.total_cold());
+        prop_assert!(fine.accesses_balance());
+        prop_assert!(coarse.accesses_balance());
+    }
+
+    /// The multi-grain wrapper is exactly equivalent to running each
+    /// analyzer separately over the same trace.
+    #[test]
+    fn multigrain_equals_independent_runs(
+        addrs in proptest::collection::vec(0u64..1 << 14, 1..300),
+    ) {
+        let prog = dummy_program();
+        let mut mg = MultiGrainAnalyzer::new(&prog, &[64, 1024]);
+        let mut fine = ReuseAnalyzer::new(&prog, 64);
+        let mut coarse = ReuseAnalyzer::new(&prog, 1024);
+        for &a in &addrs {
+            mg.access(RefId(0), a, 8, AccessKind::Load);
+            fine.access(RefId(0), a, 8, AccessKind::Load);
+            coarse.access(RefId(0), a, 8, AccessKind::Load);
+        }
+        let profiles = mg.finish();
+        prop_assert_eq!(&profiles[0], &fine.finish());
+        prop_assert_eq!(&profiles[1], &coarse.finish());
+    }
+
+    /// At any granularity, a reuse distance never exceeds the number of
+    /// other distinct blocks in the whole run.
+    #[test]
+    fn distances_bounded_by_footprint(
+        addrs in proptest::collection::vec(0u64..1 << 12, 1..300),
+    ) {
+        let prog = dummy_program();
+        let mut an = ReuseAnalyzer::new(&prog, 64);
+        for &a in &addrs {
+            an.access(RefId(0), a, 8, AccessKind::Load);
+        }
+        let profile = an.finish();
+        let bound = profile.distinct_blocks; // self excluded => strict
+        for pat in &profile.patterns {
+            if let Some(max) = pat.histogram.max_distance() {
+                prop_assert!(max < bound.max(1) * 2,
+                    "distance {max} vs {bound} distinct blocks");
+            }
+            // exact check on the histogram's mass at or above the bound
+            prop_assert_eq!(pat.histogram.count_ge(bound), 0.0);
+        }
+    }
+}
+
+/// Determinism: the same program analyzed twice produces identical
+/// profiles (the repro harnesses depend on this).
+#[test]
+fn analysis_is_deterministic() {
+    let mut p = ProgramBuilder::new("det");
+    let ix = p.index_array("ix", &[256]);
+    let a = p.array("a", 8, &[4096]);
+    p.routine("main", |r| {
+        r.for_("t", 0, 2, |r, _| {
+            r.for_("i", 0, 255, |r, i| {
+                r.load(a, vec![Expr::load(ix, vec![i.into()])]);
+            });
+        });
+    });
+    let prog = p.finish();
+    let idx: Vec<i64> = (0..256).map(|k| (k * 37) % 4096).collect();
+    let r1 =
+        reuselens_core::analyze_program(&prog, &[64, 4096], vec![(ix, idx.clone())]).unwrap();
+    let r2 = reuselens_core::analyze_program(&prog, &[64, 4096], vec![(ix, idx)]).unwrap();
+    assert_eq!(r1.profiles, r2.profiles);
+    assert_eq!(r1.exec, r2.exec);
+}

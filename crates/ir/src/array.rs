@@ -1,0 +1,251 @@
+//! Array declarations: shapes, element sizes, and memory layouts.
+//!
+//! Arrays of records (the paper's `zion(7, mi)` array of seven-field
+//! particle records) are modeled as an extra innermost dimension, so the
+//! AoS→SoA transformation the paper applies is expressed as a dimension
+//! interchange — exactly the view its static analysis takes.
+
+use std::fmt;
+
+/// Storage order of a multi-dimensional array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Fortran order: the *first* subscript is contiguous in memory.
+    #[default]
+    ColumnMajor,
+    /// C order: the *last* subscript is contiguous in memory.
+    RowMajor,
+}
+
+/// What an array stores, from the executor's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArrayKind {
+    /// Ordinary data; only its addresses matter.
+    #[default]
+    Data,
+    /// Integer-valued index array whose *contents* the executor keeps so
+    /// that [`crate::Expr::Load`] can read them (indirect addressing).
+    Index,
+}
+
+/// A declared array: name, element size, extents, and layout.
+///
+/// The base address is assigned when the program is finalized; arrays are
+/// laid out sequentially, page-aligned, so distinct arrays never share a
+/// cache line.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayDecl {
+    pub(crate) name: String,
+    pub(crate) elem_size: u32,
+    pub(crate) dims: Vec<u64>,
+    pub(crate) layout: Layout,
+    pub(crate) kind: ArrayKind,
+    pub(crate) base: u64,
+}
+
+impl ArrayDecl {
+    /// The array's declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element size in bytes.
+    pub fn elem_size(&self) -> u32 {
+        self.elem_size
+    }
+
+    /// Extents per dimension (subscript order, not storage order).
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Storage order.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Data or index array.
+    pub fn kind(&self) -> ArrayKind {
+        self.kind
+    }
+
+    /// Base virtual address (assigned at program finalization).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// True when the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() * self.elem_size as u64
+    }
+
+    /// Linearizes subscripts into a flat element offset, honoring the
+    /// layout. Returns `None` when any subscript is out of `0..extent`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reuselens_ir::{ArrayDecl, Layout};
+    ///
+    /// let a = ArrayDecl::for_test("a", 8, &[4, 3], Layout::ColumnMajor);
+    /// assert_eq!(a.flat_index(&[1, 2]), Some(9)); // 1 + 4*2
+    /// assert_eq!(a.flat_index(&[4, 0]), None);
+    /// ```
+    pub fn flat_index(&self, indices: &[i64]) -> Option<u64> {
+        if indices.len() != self.dims.len() {
+            return None;
+        }
+        let mut flat: u64 = 0;
+        match self.layout {
+            Layout::ColumnMajor => {
+                // first subscript fastest: i0 + d0*(i1 + d1*(i2 + ...))
+                for (&idx, &dim) in indices.iter().zip(&self.dims).rev() {
+                    if idx < 0 || idx as u64 >= dim {
+                        return None;
+                    }
+                    flat = flat * dim + idx as u64;
+                }
+            }
+            Layout::RowMajor => {
+                // last subscript fastest
+                for (&idx, &dim) in indices.iter().zip(&self.dims) {
+                    if idx < 0 || idx as u64 >= dim {
+                        return None;
+                    }
+                    flat = flat * dim + idx as u64;
+                }
+            }
+        }
+        Some(flat)
+    }
+
+    /// Virtual address of the element at a flat offset.
+    pub fn address_of_flat(&self, flat: u64) -> u64 {
+        self.base + flat * self.elem_size as u64
+    }
+
+    /// Virtual address of the element at the given subscripts, or `None`
+    /// when out of bounds.
+    pub fn address(&self, indices: &[i64]) -> Option<u64> {
+        self.flat_index(indices).map(|f| self.address_of_flat(f))
+    }
+
+    /// Byte stride that a unit step in subscript `dim` produces.
+    pub fn byte_stride_of_dim(&self, dim: usize) -> u64 {
+        let mut stride = self.elem_size as u64;
+        match self.layout {
+            Layout::ColumnMajor => {
+                for d in 0..dim {
+                    stride *= self.dims[d];
+                }
+            }
+            Layout::RowMajor => {
+                for d in (dim + 1)..self.dims.len() {
+                    stride *= self.dims[d];
+                }
+            }
+        }
+        stride
+    }
+
+    /// Constructs a standalone declaration for tests and doc examples,
+    /// with base address 0.
+    pub fn for_test(name: &str, elem_size: u32, dims: &[u64], layout: Layout) -> ArrayDecl {
+        ArrayDecl {
+            name: name.to_string(),
+            elem_size,
+            dims: dims.to_vec(),
+            layout,
+            kind: ArrayKind::Data,
+            base: 0,
+        }
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(
+            f,
+            ") : {}B {:?} @0x{:x}",
+            self.elem_size, self.layout, self.base
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_linearization_matches_fortran() {
+        // Fortran A(4,3): A(i,j) at i + 4*j.
+        let a = ArrayDecl::for_test("a", 8, &[4, 3], Layout::ColumnMajor);
+        assert_eq!(a.flat_index(&[0, 0]), Some(0));
+        assert_eq!(a.flat_index(&[3, 0]), Some(3));
+        assert_eq!(a.flat_index(&[0, 1]), Some(4));
+        assert_eq!(a.flat_index(&[3, 2]), Some(11));
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.size_bytes(), 96);
+    }
+
+    #[test]
+    fn row_major_linearization_matches_c() {
+        let a = ArrayDecl::for_test("a", 4, &[4, 3], Layout::RowMajor);
+        assert_eq!(a.flat_index(&[0, 0]), Some(0));
+        assert_eq!(a.flat_index(&[0, 2]), Some(2));
+        assert_eq!(a.flat_index(&[1, 0]), Some(3));
+        assert_eq!(a.flat_index(&[3, 2]), Some(11));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let a = ArrayDecl::for_test("a", 8, &[4, 3], Layout::ColumnMajor);
+        assert_eq!(a.flat_index(&[4, 0]), None);
+        assert_eq!(a.flat_index(&[-1, 0]), None);
+        assert_eq!(a.flat_index(&[0, 3]), None);
+        assert_eq!(a.flat_index(&[0]), None);
+    }
+
+    #[test]
+    fn byte_strides_per_dimension() {
+        let a = ArrayDecl::for_test("a", 8, &[50, 60, 70], Layout::ColumnMajor);
+        assert_eq!(a.byte_stride_of_dim(0), 8);
+        assert_eq!(a.byte_stride_of_dim(1), 8 * 50);
+        assert_eq!(a.byte_stride_of_dim(2), 8 * 50 * 60);
+        let r = ArrayDecl::for_test("r", 8, &[50, 60, 70], Layout::RowMajor);
+        assert_eq!(r.byte_stride_of_dim(2), 8);
+        assert_eq!(r.byte_stride_of_dim(1), 8 * 70);
+        assert_eq!(r.byte_stride_of_dim(0), 8 * 70 * 60);
+    }
+
+    #[test]
+    fn addresses_offset_from_base() {
+        let mut a = ArrayDecl::for_test("a", 8, &[4, 3], Layout::ColumnMajor);
+        a.base = 0x1000;
+        assert_eq!(a.address(&[1, 1]), Some(0x1000 + 5 * 8));
+        assert_eq!(a.address(&[9, 9]), None);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let a = ArrayDecl::for_test("flux", 8, &[50, 50], Layout::ColumnMajor);
+        assert!(a.to_string().starts_with("flux(50, 50)"));
+    }
+}

@@ -1,0 +1,538 @@
+//! Fluent construction of [`Program`]s.
+//!
+//! The builder enforces well-formedness by construction: scopes nest
+//! properly, every reference records its innermost enclosing scope, and
+//! array base addresses are assigned (page-aligned, non-overlapping) when
+//! the program is finalized.
+//!
+//! # Examples
+//!
+//! ```
+//! use reuselens_ir::ProgramBuilder;
+//!
+//! let mut p = ProgramBuilder::new("fig1");
+//! let a = p.array("a", 8, &[100, 100]);
+//! let b = p.array("b", 8, &[100, 100]);
+//! p.routine("main", |r| {
+//!     r.for_("i", 0, 99, |r, i| {
+//!         r.for_("j", 0, 99, |r, j| {
+//!             r.load(b, vec![i.into(), j.into()]);
+//!             r.load(a, vec![i.into(), j.into()]);
+//!             r.store(a, vec![i.into(), j.into()]);
+//!         });
+//!     });
+//! });
+//! let prog = p.finish();
+//! assert_eq!(prog.references().len(), 3);
+//! prog.validate().unwrap();
+//! ```
+
+use crate::array::{ArrayDecl, ArrayKind, Layout};
+use crate::expr::{Expr, Pred};
+use crate::ids::{ArrayId, RefId, RoutineId, ScopeId, VarId};
+use crate::program::{Program, Routine, ScopeInfo, ScopeKind};
+use crate::stmt::{AccessKind, Loop, Reference, Stmt};
+
+/// Alignment for array base addresses: arrays never share a 4 KiB region,
+/// as with separately allocated objects in a real address space.
+const ARRAY_ALIGN: u64 = 4096;
+/// First assigned base address (a recognizable nonzero origin).
+const BASE_ORIGIN: u64 = 0x10_0000;
+
+/// Incrementally builds a [`Program`]; see the module-level docs for a
+/// complete example.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    refs: Vec<Reference>,
+    scopes: Vec<ScopeInfo>,
+    routines: Vec<Option<Routine>>,
+    routine_names: Vec<String>,
+    var_names: Vec<String>,
+    entry: Option<RoutineId>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            refs: Vec::new(),
+            scopes: vec![ScopeInfo {
+                id: ScopeId::ROOT,
+                kind: ScopeKind::Program,
+                name: "<program>".into(),
+                parent: None,
+                routine: None,
+            }],
+            routines: Vec::new(),
+            routine_names: Vec::new(),
+            var_names: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Declares a column-major data array.
+    pub fn array(&mut self, name: impl Into<String>, elem_size: u32, dims: &[u64]) -> ArrayId {
+        self.array_with(name, elem_size, dims, Layout::ColumnMajor, ArrayKind::Data)
+    }
+
+    /// Declares an integer index array (8-byte elements, column-major) whose
+    /// contents the executor keeps for indirect addressing.
+    pub fn index_array(&mut self, name: impl Into<String>, dims: &[u64]) -> ArrayId {
+        self.array_with(name, 8, dims, Layout::ColumnMajor, ArrayKind::Index)
+    }
+
+    /// Declares an array with explicit layout and kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size` is zero or any extent is zero.
+    pub fn array_with(
+        &mut self,
+        name: impl Into<String>,
+        elem_size: u32,
+        dims: &[u64],
+        layout: Layout,
+        kind: ArrayKind,
+    ) -> ArrayId {
+        assert!(elem_size > 0, "element size must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array extents must be positive"
+        );
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem_size,
+            dims: dims.to_vec(),
+            layout,
+            kind,
+            base: 0, // assigned in finish()
+        });
+        id
+    }
+
+    /// Pre-declares a routine so it can be called before it is defined
+    /// (mutual recursion between phases).
+    pub fn declare_routine(&mut self, name: impl Into<String>) -> RoutineId {
+        let id = RoutineId(self.routines.len() as u32);
+        let name = name.into();
+        self.routines.push(None);
+        self.routine_names.push(name.clone());
+        let scope = self.new_scope(ScopeKind::Routine(id), name, ScopeId::ROOT, Some(id));
+        // Remember the scope by storing a placeholder routine body.
+        self.routines[id.index()] = Some(Routine {
+            id,
+            name: self.routine_names[id.index()].clone(),
+            scope,
+            body: Vec::new(),
+        });
+        self.routines[id.index()].as_mut().unwrap().body = Vec::new();
+        // Mark as undefined by emptying; definition replaces the body.
+        id
+    }
+
+    /// Defines the body of a previously declared routine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`declare_routine`](Self::declare_routine).
+    pub fn define_routine(&mut self, id: RoutineId, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        let scope = self.routines[id.index()]
+            .as_ref()
+            .expect("routine must be declared before definition")
+            .scope;
+        let mut body_builder = BodyBuilder {
+            pb: self,
+            routine: id,
+            scope_stack: vec![scope],
+            stmt_stack: vec![Vec::new()],
+        };
+        f(&mut body_builder);
+        let body = body_builder.stmt_stack.pop().expect("balanced stmt stack");
+        assert!(
+            body_builder.stmt_stack.is_empty(),
+            "unbalanced scopes in routine body"
+        );
+        self.routines[id.index()].as_mut().unwrap().body = body;
+    }
+
+    /// Declares and defines a routine in one call. The first routine built
+    /// becomes the entry point unless [`set_entry`](Self::set_entry) is called.
+    pub fn routine(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) -> RoutineId {
+        let id = self.declare_routine(name);
+        self.define_routine(id, f);
+        if self.entry.is_none() {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Chooses the entry routine.
+    pub fn set_entry(&mut self, id: RoutineId) {
+        self.entry = Some(id);
+    }
+
+    /// Declares a program-level scalar variable (initially zero) that
+    /// routines can assign with [`BodyBuilder::set`] and callees can read —
+    /// the mechanism for passing loop bounds across routine calls (e.g. the
+    /// strip bounds a tiled caller hands to its callee).
+    pub fn scalar(&mut self, name: &str) -> VarId {
+        self.new_var(name)
+    }
+
+    /// Finalizes the program: assigns array base addresses and freezes all
+    /// tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no routine was defined.
+    pub fn finish(mut self) -> Program {
+        let mut next = BASE_ORIGIN;
+        for (i, a) in self.arrays.iter_mut().enumerate() {
+            // Stagger bases across cache sets (line-aligned): real
+            // allocators do not start every object at a page boundary, and
+            // perfectly aligned bases would alias pathologically in
+            // small set-associative caches.
+            let stagger = ((i as u64 * 7) % 32) * 128;
+            a.base = next + stagger;
+            let sz = a.size_bytes().max(1);
+            next = (a.base + sz).div_ceil(ARRAY_ALIGN) * ARRAY_ALIGN;
+        }
+        let entry = self.entry.expect("program needs at least one routine");
+        Program {
+            name: self.name,
+            arrays: self.arrays,
+            refs: self.refs,
+            scopes: self.scopes,
+            routines: self
+                .routines
+                .into_iter()
+                .map(|r| r.expect("declared routine was never defined"))
+                .collect(),
+            var_names: self.var_names,
+            entry,
+        }
+    }
+
+    fn new_scope(
+        &mut self,
+        kind: ScopeKind,
+        name: String,
+        parent: ScopeId,
+        routine: Option<RoutineId>,
+    ) -> ScopeId {
+        let id = ScopeId(self.scopes.len() as u32);
+        self.scopes.push(ScopeInfo {
+            id,
+            kind,
+            name,
+            parent: Some(parent),
+            routine,
+        });
+        id
+    }
+
+    fn new_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        id
+    }
+}
+
+/// Builds the body of one routine; obtained from
+/// [`ProgramBuilder::routine`]. Nested loops and guards are expressed with
+/// closures so the scope structure mirrors the source text.
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    routine: RoutineId,
+    scope_stack: Vec<ScopeId>,
+    stmt_stack: Vec<Vec<Stmt>>,
+}
+
+impl BodyBuilder<'_> {
+    /// Current innermost scope.
+    pub fn current_scope(&self) -> ScopeId {
+        *self.scope_stack.last().expect("scope stack never empty")
+    }
+
+    /// Adds a unit-step loop over `lower..=upper` (Fortran `DO` semantics:
+    /// both bounds inclusive). The closure receives the loop variable.
+    pub fn for_(
+        &mut self,
+        var_name: &str,
+        lower: impl Into<Expr>,
+        upper: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> ScopeId {
+        self.for_step(var_name, lower, upper, 1, f)
+    }
+
+    /// Adds a loop with an explicit nonzero step; negative steps iterate
+    /// downward (`DO i = hi, lo, -1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn for_step(
+        &mut self,
+        var_name: &str,
+        lower: impl Into<Expr>,
+        upper: impl Into<Expr>,
+        step: i64,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> ScopeId {
+        assert!(step != 0, "loop step must be nonzero");
+        let var = self.pb.new_var(var_name);
+        let parent = self.current_scope();
+        let scope = self.pb.new_scope(
+            ScopeKind::Loop(var),
+            var_name.to_string(),
+            parent,
+            Some(self.routine),
+        );
+        self.scope_stack.push(scope);
+        self.stmt_stack.push(Vec::new());
+        f(self, var);
+        let body = self.stmt_stack.pop().expect("balanced stmt stack");
+        self.scope_stack.pop();
+        self.push(Stmt::Loop(Loop {
+            scope,
+            var,
+            lower: lower.into(),
+            upper: upper.into(),
+            step,
+            body,
+        }));
+        scope
+    }
+
+    /// Adds a load of `array[indices]` and returns the new reference id.
+    pub fn load(&mut self, array: ArrayId, indices: Vec<Expr>) -> RefId {
+        self.access(array, indices, AccessKind::Load, None)
+    }
+
+    /// Adds a store to `array[indices]` and returns the new reference id.
+    pub fn store(&mut self, array: ArrayId, indices: Vec<Expr>) -> RefId {
+        self.access(array, indices, AccessKind::Store, None)
+    }
+
+    /// Adds a load with an explicit source-style label (for reports).
+    pub fn load_labeled(&mut self, array: ArrayId, indices: Vec<Expr>, label: &str) -> RefId {
+        self.access(array, indices, AccessKind::Load, Some(label.to_string()))
+    }
+
+    /// Adds a store with an explicit source-style label (for reports).
+    pub fn store_labeled(&mut self, array: ArrayId, indices: Vec<Expr>, label: &str) -> RefId {
+        self.access(array, indices, AccessKind::Store, Some(label.to_string()))
+    }
+
+    /// Adds a guarded block executed when `cond` holds.
+    pub fn if_(&mut self, cond: Pred, f: impl FnOnce(&mut Self)) {
+        self.stmt_stack.push(Vec::new());
+        f(self);
+        let then_body = self.stmt_stack.pop().expect("balanced stmt stack");
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body: Vec::new(),
+        });
+    }
+
+    /// Adds a guarded block with both branches.
+    pub fn if_else(
+        &mut self,
+        cond: Pred,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.stmt_stack.push(Vec::new());
+        then_f(self);
+        let then_body = self.stmt_stack.pop().expect("balanced stmt stack");
+        self.stmt_stack.push(Vec::new());
+        else_f(self);
+        let else_body = self.stmt_stack.pop().expect("balanced stmt stack");
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        });
+    }
+
+    /// Declares a fresh scalar variable initialized to `value` and returns
+    /// it (computed subscripts such as diagonal coordinates).
+    pub fn let_(&mut self, name: &str, value: impl Into<Expr>) -> VarId {
+        let var = self.pb.new_var(name);
+        self.push(Stmt::Assign {
+            var,
+            value: value.into(),
+        });
+        var
+    }
+
+    /// Re-assigns an existing scalar variable.
+    pub fn set(&mut self, var: VarId, value: impl Into<Expr>) {
+        self.push(Stmt::Assign {
+            var,
+            value: value.into(),
+        });
+    }
+
+    /// Calls another routine.
+    pub fn call(&mut self, target: RoutineId) {
+        self.push(Stmt::Call(target));
+    }
+
+    fn access(
+        &mut self,
+        array: ArrayId,
+        indices: Vec<Expr>,
+        kind: AccessKind,
+        label: Option<String>,
+    ) -> RefId {
+        let id = RefId(self.pb.refs.len() as u32);
+        let label = label.unwrap_or_else(|| {
+            let arr_name = self.pb.arrays[array.index()].name.clone();
+            let subs: Vec<String> = indices.iter().map(|e| e.to_string()).collect();
+            format!("{arr_name}({})", subs.join(","))
+        });
+        self.pb.refs.push(Reference {
+            id,
+            array,
+            indices,
+            kind,
+            scope: self.current_scope(),
+            label,
+        });
+        self.push(Stmt::Access(id));
+        id
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.stmt_stack
+            .last_mut()
+            .expect("stmt stack never empty")
+            .push(stmt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ScopeKind;
+
+    #[test]
+    fn builder_assigns_disjoint_line_aligned_bases() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[100]);
+        let b = p.array("b", 8, &[100]);
+        let c = p.array("c", 8, &[100]);
+        p.routine("main", |r| {
+            r.load(a, vec![Expr::c(0)]);
+            r.load(b, vec![Expr::c(0)]);
+            r.load(c, vec![Expr::c(0)]);
+        });
+        let prog = p.finish();
+        let (ba, bb, bc) = (
+            prog.array(a).base(),
+            prog.array(b).base(),
+            prog.array(c).base(),
+        );
+        // Line-aligned, disjoint, and staggered across cache sets.
+        for base in [ba, bb, bc] {
+            assert_eq!(base % 128, 0);
+        }
+        assert!(bb >= ba + prog.array(a).size_bytes());
+        assert!(bc >= bb + prog.array(b).size_bytes());
+        assert_ne!(ba % ARRAY_ALIGN, bb % ARRAY_ALIGN);
+    }
+
+    #[test]
+    fn nested_loops_create_nested_scopes() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[10, 10]);
+        let mut inner = None;
+        p.routine("main", |r| {
+            r.for_("i", 0, 9, |r, i| {
+                inner = Some(r.for_("j", 0, 9, |r, j| {
+                    r.store(a, vec![j.into(), i.into()]);
+                }));
+            });
+        });
+        let prog = p.finish();
+        prog.validate().unwrap();
+        let inner = inner.unwrap();
+        assert!(matches!(prog.scope(inner).kind(), ScopeKind::Loop(_)));
+        assert_eq!(prog.references()[0].scope(), inner);
+    }
+
+    #[test]
+    fn labels_default_to_array_and_subscripts() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("src", 8, &[10]);
+        p.routine("main", |r| {
+            r.for_("i", 0, 9, |r, i| {
+                r.load(a, vec![Expr::var(i) + 1]);
+            });
+        });
+        let prog = p.finish();
+        assert_eq!(prog.references()[0].label(), "src((var0 + 1))");
+    }
+
+    #[test]
+    fn forward_declared_routines_can_be_called() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[4]);
+        let callee = p.declare_routine("callee");
+        let main = p.routine("main", |r| {
+            r.call(callee);
+        });
+        p.define_routine(callee, |r| {
+            r.load(a, vec![Expr::c(0)]);
+        });
+        p.set_entry(main);
+        let prog = p.finish();
+        prog.validate().unwrap();
+        assert_eq!(prog.entry(), main);
+        assert_eq!(prog.routines().len(), 2);
+    }
+
+    #[test]
+    fn if_else_records_both_branches() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[4]);
+        p.routine("main", |r| {
+            r.for_("i", 0, 3, |r, i| {
+                r.if_else(
+                    Pred::Lt(Expr::var(i), Expr::c(2)),
+                    |r| {
+                        r.load(a, vec![Expr::c(0)]);
+                    },
+                    |r| {
+                        r.load(a, vec![Expr::c(1)]);
+                    },
+                );
+            });
+        });
+        let prog = p.finish();
+        prog.validate().unwrap();
+        assert_eq!(prog.references().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "loop step must be nonzero")]
+    fn zero_step_panics() {
+        let mut p = ProgramBuilder::new("t");
+        p.routine("main", |r| {
+            r.for_step("i", 0, 9, 0, |_, _| {});
+        });
+    }
+}

@@ -1,0 +1,100 @@
+//! Newtype identifiers for program entities.
+//!
+//! Every entity in a [`crate::Program`] — arrays, memory references, scopes,
+//! routines, and scalar variables — is identified by a small integer newtype.
+//! The newtypes prevent accidentally indexing one table with another table's
+//! id (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index, usable to index the owning table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an array declaration within a [`crate::Program`].
+    ArrayId,
+    "arr"
+);
+id_type!(
+    /// Identifies a static memory reference (a load or store site).
+    RefId,
+    "ref"
+);
+id_type!(
+    /// Identifies a program scope (the program root, a routine, or a loop).
+    ScopeId,
+    "scope"
+);
+id_type!(
+    /// Identifies a routine within a [`crate::Program`].
+    RoutineId,
+    "rtn"
+);
+id_type!(
+    /// Identifies a scalar integer variable (loop induction variable,
+    /// parameter, or assigned temporary).
+    VarId,
+    "var"
+);
+
+impl ScopeId {
+    /// The program-root scope, parent of every routine scope.
+    pub const ROOT: ScopeId = ScopeId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_tags() {
+        assert_eq!(ArrayId(3).to_string(), "arr3");
+        assert_eq!(RefId(0).to_string(), "ref0");
+        assert_eq!(ScopeId::ROOT.to_string(), "scope0");
+        assert_eq!(RoutineId(7).to_string(), "rtn7");
+        assert_eq!(VarId(1).to_string(), "var1");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ScopeId(1));
+        set.insert(ScopeId(1));
+        set.insert(ScopeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ScopeId(1) < ScopeId(2));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ArrayId(9).index(), 9);
+        let u: usize = RoutineId(4).into();
+        assert_eq!(u, 4);
+    }
+}

@@ -1,0 +1,480 @@
+//! The [`Program`]: routines, arrays, references, and the static scope tree.
+
+use crate::array::{ArrayDecl, ArrayKind};
+use crate::ids::{ArrayId, RefId, RoutineId, ScopeId, VarId};
+use crate::stmt::{walk_stmts, Reference, Stmt};
+use std::error::Error;
+use std::fmt;
+
+/// What a scope node in the static scope tree represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScopeKind {
+    /// The program root (aggregates everything).
+    Program,
+    /// A routine body.
+    Routine(RoutineId),
+    /// A loop; carries its induction variable.
+    Loop(VarId),
+}
+
+/// A node in the static scope tree: program → routines → (nested) loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeInfo {
+    pub(crate) id: ScopeId,
+    pub(crate) kind: ScopeKind,
+    pub(crate) name: String,
+    pub(crate) parent: Option<ScopeId>,
+    pub(crate) routine: Option<RoutineId>,
+}
+
+impl ScopeInfo {
+    /// This scope's id.
+    pub fn id(&self) -> ScopeId {
+        self.id
+    }
+
+    /// What the scope represents.
+    pub fn kind(&self) -> ScopeKind {
+        self.kind
+    }
+
+    /// Human-readable name (`"main"`, `"loop j"`, `"idiag"`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parent scope in the static tree (`None` for the root).
+    pub fn parent(&self) -> Option<ScopeId> {
+        self.parent
+    }
+
+    /// The routine that (statically) contains this scope; `None` for the
+    /// program root.
+    pub fn routine(&self) -> Option<RoutineId> {
+        self.routine
+    }
+
+    /// True when this scope is a loop.
+    pub fn is_loop(&self) -> bool {
+        matches!(self.kind, ScopeKind::Loop(_))
+    }
+}
+
+/// A routine: a named body of statements with its own scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routine {
+    pub(crate) id: RoutineId,
+    pub(crate) name: String,
+    pub(crate) scope: ScopeId,
+    pub(crate) body: Vec<Stmt>,
+}
+
+impl Routine {
+    /// This routine's id.
+    pub fn id(&self) -> RoutineId {
+        self.id
+    }
+
+    /// The routine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scope the routine body defines.
+    pub fn scope(&self) -> ScopeId {
+        self.scope
+    }
+
+    /// The statements of the body.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+}
+
+/// Error produced by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.0)
+    }
+}
+
+impl Error for ValidateError {}
+
+/// A complete analyzable program, produced by
+/// [`ProgramBuilder::finish`](crate::ProgramBuilder::finish).
+///
+/// The program owns the array table (with assigned base addresses), the
+/// reference table, the static scope tree, and the routines. It is immutable
+/// after construction; the trace executor and the static analyses only read
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) refs: Vec<Reference>,
+    pub(crate) scopes: Vec<ScopeInfo>,
+    pub(crate) routines: Vec<Routine>,
+    pub(crate) var_names: Vec<String>,
+    pub(crate) entry: RoutineId,
+}
+
+impl Program {
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry routine executed by the trace executor.
+    pub fn entry(&self) -> RoutineId {
+        self.entry
+    }
+
+    /// All declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Looks up an array declaration.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// Finds an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    /// All static memory references.
+    pub fn references(&self) -> &[Reference] {
+        &self.refs
+    }
+
+    /// Looks up a reference.
+    pub fn reference(&self, id: RefId) -> &Reference {
+        &self.refs[id.index()]
+    }
+
+    /// All scope-tree nodes, indexed by [`ScopeId`].
+    pub fn scopes(&self) -> &[ScopeInfo] {
+        &self.scopes
+    }
+
+    /// Looks up a scope node.
+    pub fn scope(&self, id: ScopeId) -> &ScopeInfo {
+        &self.scopes[id.index()]
+    }
+
+    /// All routines, indexed by [`RoutineId`].
+    pub fn routines(&self) -> &[Routine] {
+        &self.routines
+    }
+
+    /// Looks up a routine.
+    pub fn routine(&self, id: RoutineId) -> &Routine {
+        &self.routines[id.index()]
+    }
+
+    /// Finds a routine by name.
+    pub fn routine_by_name(&self, name: &str) -> Option<RoutineId> {
+        self.routines
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RoutineId(i as u32))
+    }
+
+    /// Finds a scope by its display name (first match).
+    pub fn scope_by_name(&self, name: &str) -> Option<ScopeId> {
+        self.scopes
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| ScopeId(i as u32))
+    }
+
+    /// Name of a scalar variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Number of declared scalar variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterates a scope's ancestors from itself up to (and including) the
+    /// program root.
+    pub fn ancestors(&self, scope: ScopeId) -> Ancestors<'_> {
+        Ancestors {
+            program: self,
+            next: Some(scope),
+        }
+    }
+
+    /// True when `outer` is `inner` or one of its static ancestors.
+    pub fn is_ancestor(&self, outer: ScopeId, inner: ScopeId) -> bool {
+        self.ancestors(inner).any(|s| s == outer)
+    }
+
+    /// Depth of a scope in the static tree (root = 0).
+    pub fn depth(&self, scope: ScopeId) -> usize {
+        self.ancestors(scope).count() - 1
+    }
+
+    /// Lowest common ancestor of two scopes in the static tree.
+    pub fn lca(&self, a: ScopeId, b: ScopeId) -> ScopeId {
+        let path_a: Vec<ScopeId> = self.ancestors(a).collect();
+        self.ancestors(b)
+            .find(|s| path_a.contains(s))
+            .unwrap_or(ScopeId::ROOT)
+    }
+
+    /// Enclosing loop scopes of a scope, innermost first, staying inside the
+    /// scope's routine (this is the nest the static stride analysis walks).
+    pub fn enclosing_loops(&self, scope: ScopeId) -> Vec<ScopeId> {
+        let mut out = Vec::new();
+        for s in self.ancestors(scope) {
+            match self.scope(s).kind {
+                ScopeKind::Loop(_) => out.push(s),
+                ScopeKind::Routine(_) | ScopeKind::Program => break,
+            }
+        }
+        out
+    }
+
+    /// The routine statically containing a scope (`None` only for the root).
+    pub fn routine_of(&self, scope: ScopeId) -> Option<RoutineId> {
+        self.scope(scope).routine
+    }
+
+    /// The induction variable of a loop scope.
+    pub fn loop_var(&self, scope: ScopeId) -> Option<VarId> {
+        match self.scope(scope).kind {
+            ScopeKind::Loop(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// References whose innermost enclosing scope is within `scope`
+    /// (inclusive, static containment).
+    pub fn references_under(&self, scope: ScopeId) -> Vec<RefId> {
+        self.refs
+            .iter()
+            .filter(|r| self.is_ancestor(scope, r.scope))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Structural checks: ids in range, calls resolve, loads only read index
+    /// arrays, every `Stmt::Access` id matches its table entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.entry.index() >= self.routines.len() {
+            return Err(ValidateError(format!(
+                "entry routine {} out of range",
+                self.entry
+            )));
+        }
+        for (i, s) in self.scopes.iter().enumerate() {
+            if s.id.index() != i {
+                return Err(ValidateError(format!("scope table misindexed at {i}")));
+            }
+            if let Some(p) = s.parent {
+                if p.index() >= self.scopes.len() {
+                    return Err(ValidateError(format!("scope {} has bad parent", s.id)));
+                }
+            } else if s.id != ScopeId::ROOT {
+                return Err(ValidateError(format!("non-root scope {} lacks parent", s.id)));
+            }
+        }
+        for r in &self.refs {
+            let arr = r
+                .array
+                .index()
+                .checked_sub(0)
+                .filter(|&i| i < self.arrays.len())
+                .ok_or_else(|| ValidateError(format!("{} has bad array id", r.id)))?;
+            if r.indices.len() != self.arrays[arr].dims.len() {
+                return Err(ValidateError(format!(
+                    "{} subscript count {} != rank {} of {}",
+                    r.id,
+                    r.indices.len(),
+                    self.arrays[arr].dims.len(),
+                    self.arrays[arr].name
+                )));
+            }
+            let mut loads = Vec::new();
+            for e in &r.indices {
+                e.collect_loads(&mut loads);
+            }
+            for l in loads {
+                if l.index() >= self.arrays.len() {
+                    return Err(ValidateError(format!("{} loads from bad array", r.id)));
+                }
+                if self.arrays[l.index()].kind != ArrayKind::Index {
+                    return Err(ValidateError(format!(
+                        "{} indirects through non-index array {}",
+                        r.id,
+                        self.arrays[l.index()].name
+                    )));
+                }
+            }
+        }
+        for rtn in &self.routines {
+            let mut err = None;
+            walk_stmts(&rtn.body, &mut |s| {
+                if err.is_some() {
+                    return;
+                }
+                match s {
+                    Stmt::Access(r)
+                        if r.index() >= self.refs.len() => {
+                            err = Some(format!("routine {} uses bad {r}", rtn.name));
+                        }
+                    Stmt::Call(target)
+                        if target.index() >= self.routines.len() => {
+                            err = Some(format!("routine {} calls bad {target}", rtn.name));
+                        }
+                    Stmt::Assign { var, .. }
+                        if var.index() >= self.var_names.len() => {
+                            err = Some(format!("routine {} assigns bad {var}", rtn.name));
+                        }
+                    _ => {}
+                }
+            });
+            if let Some(msg) = err {
+                return Err(ValidateError(msg));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total declared data footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.arrays.iter().map(ArrayDecl::size_bytes).sum()
+    }
+
+    /// Qualified display path of a scope, e.g. `"sweep/idiag"`.
+    pub fn scope_path(&self, scope: ScopeId) -> String {
+        let mut parts: Vec<&str> = self
+            .ancestors(scope)
+            .map(|s| self.scope(s).name.as_str())
+            .collect();
+        parts.pop(); // drop the program root
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Subscript expression helper: the affine form of a reference's
+    /// linearized byte offset within its array (base not included).
+    pub fn byte_offset_expr(&self, r: &Reference) -> Option<crate::affine::Affine> {
+        let arr = self.array(r.array);
+        let mut total = crate::affine::Affine::constant(0);
+        for (d, idx) in r.indices.iter().enumerate() {
+            let f = crate::affine::affine_form(idx)?;
+            total = total.add(&f.scale(arr.byte_stride_of_dim(d) as i64));
+        }
+        Some(total)
+    }
+}
+
+/// Iterator over a scope's ancestor chain. Created by [`Program::ancestors`].
+#[derive(Debug, Clone)]
+pub struct Ancestors<'a> {
+    program: &'a Program,
+    next: Option<ScopeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = ScopeId;
+
+    fn next(&mut self) -> Option<ScopeId> {
+        let cur = self.next?;
+        self.next = self.program.scope(cur).parent;
+        Some(cur)
+    }
+}
+
+#[allow(unused_imports)]
+use crate::builder::ProgramBuilder;
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::ids::ScopeId;
+
+    fn two_level() -> super::Program {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[16, 16]);
+        p.routine("main", |r| {
+            r.for_("j", 0, 15, |r, j| {
+                r.for_("i", 0, 15, |r, i| {
+                    r.load(a, vec![i.into(), j.into()]);
+                });
+            });
+        });
+        p.finish()
+    }
+
+    #[test]
+    fn scope_tree_shape() {
+        let p = two_level();
+        assert!(p.validate().is_ok());
+        let main = p.routine_by_name("main").unwrap();
+        let main_scope = p.routine(main).scope();
+        assert_eq!(p.scope(main_scope).parent(), Some(ScopeId::ROOT));
+        let j = p.scope_by_name("j").unwrap();
+        let i = p.scope_by_name("i").unwrap();
+        assert_eq!(p.scope(j).parent(), Some(main_scope));
+        assert_eq!(p.scope(i).parent(), Some(j));
+        assert_eq!(p.depth(i), 3);
+        assert!(p.is_ancestor(j, i));
+        assert!(!p.is_ancestor(i, j));
+        assert_eq!(p.lca(i, j), j);
+        assert_eq!(p.scope_path(i), "main/j/i");
+    }
+
+    #[test]
+    fn enclosing_loops_innermost_first() {
+        let p = two_level();
+        let i = p.scope_by_name("i").unwrap();
+        let j = p.scope_by_name("j").unwrap();
+        let r = &p.references()[0];
+        assert_eq!(r.scope(), i);
+        assert_eq!(p.enclosing_loops(r.scope()), vec![i, j]);
+    }
+
+    #[test]
+    fn byte_offset_expr_linearizes() {
+        let p = two_level();
+        let r = &p.references()[0];
+        let aff = p.byte_offset_expr(r).unwrap();
+        // offset = 8*i + 128*j
+        let i_var = p.loop_var(p.scope_by_name("i").unwrap()).unwrap();
+        let j_var = p.loop_var(p.scope_by_name("j").unwrap()).unwrap();
+        assert_eq!(aff.coeff(i_var), 8);
+        assert_eq!(aff.coeff(j_var), 128);
+    }
+
+    #[test]
+    fn footprint_counts_all_arrays() {
+        let p = two_level();
+        assert_eq!(p.footprint_bytes(), 16 * 16 * 8);
+    }
+
+    #[test]
+    fn references_under_scope() {
+        let p = two_level();
+        let main = p.routine(p.entry()).scope();
+        assert_eq!(p.references_under(main).len(), 1);
+        let i = p.scope_by_name("i").unwrap();
+        assert_eq!(p.references_under(i).len(), 1);
+    }
+}

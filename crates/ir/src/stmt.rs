@@ -1,0 +1,227 @@
+//! Statements: loops, guarded blocks, scalar assignments, memory references,
+//! and routine calls.
+
+use crate::expr::{Expr, Pred};
+use crate::ids::{ArrayId, RefId, RoutineId, ScopeId, VarId};
+use std::fmt;
+
+/// Whether a memory reference reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read.
+    Load,
+    /// A write.
+    Store,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// A static memory reference: one load or store site in the program text.
+///
+/// References carry the subscript expressions used to compute the accessed
+/// address — the information the paper's tool recovers from address
+/// computations in machine code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Reference {
+    pub(crate) id: RefId,
+    pub(crate) array: ArrayId,
+    pub(crate) indices: Vec<Expr>,
+    pub(crate) kind: AccessKind,
+    pub(crate) scope: ScopeId,
+    pub(crate) label: String,
+}
+
+impl Reference {
+    /// This reference's id.
+    pub fn id(&self) -> RefId {
+        self.id
+    }
+
+    /// The array it accesses.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// Subscript expressions, one per array dimension.
+    pub fn indices(&self) -> &[Expr] {
+        &self.indices
+    }
+
+    /// Load or store.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Innermost enclosing scope (loop or routine).
+    pub fn scope(&self) -> ScopeId {
+        self.scope
+    }
+
+    /// Human-readable label, e.g. `"src(i,j,k,n)"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// True when any subscript contains an indirect load.
+    pub fn is_indirect(&self) -> bool {
+        self.indices.iter().any(Expr::has_load)
+    }
+}
+
+/// A counted loop with Fortran `DO` semantics.
+///
+/// The loop runs `var = lower; while step > 0 ? var <= upper : var >= upper;
+/// var += step`, i.e. **both bounds are inclusive** and negative steps walk
+/// backwards, which matches the sweeps in the modeled workloads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Loop {
+    pub(crate) scope: ScopeId,
+    pub(crate) var: VarId,
+    pub(crate) lower: Expr,
+    pub(crate) upper: Expr,
+    pub(crate) step: i64,
+    pub(crate) body: Vec<Stmt>,
+}
+
+impl Loop {
+    /// The scope id this loop defines.
+    pub fn scope(&self) -> ScopeId {
+        self.scope
+    }
+
+    /// The induction variable.
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Inclusive lower bound.
+    pub fn lower(&self) -> &Expr {
+        &self.lower
+    }
+
+    /// Inclusive upper bound.
+    pub fn upper(&self) -> &Expr {
+        &self.upper
+    }
+
+    /// Step (nonzero; negative steps iterate downwards).
+    pub fn step(&self) -> i64 {
+        self.step
+    }
+
+    /// Loop body.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+}
+
+/// One statement in a routine or loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// A nested loop.
+    Loop(Loop),
+    /// A memory access; the full [`Reference`] lives in the program's
+    /// reference table.
+    Access(RefId),
+    /// A guarded block (loop-bound clipping, wavefront membership tests).
+    If {
+        /// Guard condition.
+        cond: Pred,
+        /// Statements executed when the condition holds.
+        then_body: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_body: Vec<Stmt>,
+    },
+    /// Assigns an integer expression to a scalar variable (computed
+    /// subscripts such as a diagonal-plane coordinate).
+    Assign {
+        /// Target variable.
+        var: VarId,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Calls another routine (enters its scope).
+    Call(RoutineId),
+}
+
+/// Walks all statements in a body, depth-first, invoking `f` on each.
+pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in body {
+        f(stmt);
+        match stmt {
+            Stmt::Loop(l) => walk_stmts(&l.body, f),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_reports_indirection() {
+        let direct = Reference {
+            id: RefId(0),
+            array: ArrayId(0),
+            indices: vec![Expr::var(VarId(0))],
+            kind: AccessKind::Load,
+            scope: ScopeId(1),
+            label: "a(i)".into(),
+        };
+        assert!(!direct.is_indirect());
+        let indirect = Reference {
+            indices: vec![Expr::load(ArrayId(1), vec![Expr::var(VarId(0))])],
+            label: "a(ix(i))".into(),
+            ..direct.clone()
+        };
+        assert!(indirect.is_indirect());
+        assert_eq!(indirect.kind(), AccessKind::Load);
+    }
+
+    #[test]
+    fn walk_visits_nested_statements() {
+        let inner = Stmt::Access(RefId(0));
+        let guarded = Stmt::If {
+            cond: Pred::True,
+            then_body: vec![Stmt::Access(RefId(1))],
+            else_body: vec![Stmt::Access(RefId(2))],
+        };
+        let lp = Stmt::Loop(Loop {
+            scope: ScopeId(2),
+            var: VarId(0),
+            lower: Expr::c(0),
+            upper: Expr::c(9),
+            step: 1,
+            body: vec![inner, guarded],
+        });
+        let mut seen = Vec::new();
+        walk_stmts(std::slice::from_ref(&lp), &mut |s| {
+            if let Stmt::Access(r) = s {
+                seen.push(*r);
+            }
+        });
+        assert_eq!(seen, vec![RefId(0), RefId(1), RefId(2)]);
+    }
+
+    #[test]
+    fn access_kind_displays() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

@@ -1,0 +1,140 @@
+//! The one-call locality analysis: execute, measure, predict, attribute.
+
+use crate::attribution::LevelMetrics;
+use reuselens_cache::{evaluate_program, HierarchyReport, MemoryHierarchy};
+use reuselens_core::AnalysisResult;
+use reuselens_ir::{ArrayId, Program};
+use reuselens_static::StaticAnalysis;
+use reuselens_trace::ExecError;
+
+/// Everything the toolchain produces for one program on one hierarchy:
+/// per-level predictions, per-level attribution metrics, and the static
+/// analysis. This is the input to the report writers and to the
+/// [transformation advisor](../reuselens_advisor/index.html).
+#[derive(Debug, Clone)]
+pub struct LocalityAnalysis {
+    /// Per-level miss predictions and modeled cycles.
+    pub report: HierarchyReport,
+    /// Attribution metrics, one per cache level, in hierarchy order.
+    pub cache_metrics: Vec<LevelMetrics>,
+    /// Attribution metrics for the TLB.
+    pub tlb_metrics: LevelMetrics,
+    /// The static access-pattern analysis.
+    pub static_analysis: StaticAnalysis,
+    /// The underlying reuse-distance analysis (profiles per granularity).
+    pub analysis: AnalysisResult,
+}
+
+impl LocalityAnalysis {
+    /// Finds a level's metrics by name (`"L2"`, `"L3"`, `"TLB"`).
+    pub fn level(&self, name: &str) -> Option<&LevelMetrics> {
+        if self.tlb_metrics.level == name {
+            return Some(&self.tlb_metrics);
+        }
+        self.cache_metrics.iter().find(|m| m.level == name)
+    }
+
+    /// All metrics, caches first then TLB.
+    pub fn all_levels(&self) -> Vec<&LevelMetrics> {
+        self.cache_metrics
+            .iter()
+            .chain(std::iter::once(&self.tlb_metrics))
+            .collect()
+    }
+}
+
+/// Runs the complete pipeline: one execution measuring reuse at every
+/// granularity the hierarchy needs, per-level miss prediction, static
+/// analysis, and per-level attribution.
+///
+/// # Errors
+///
+/// Propagates executor errors (out-of-bounds accesses, missing index-array
+/// contents).
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_cache::MemoryHierarchy;
+/// use reuselens_ir::ProgramBuilder;
+/// use reuselens_metrics::run_locality_analysis;
+///
+/// let mut p = ProgramBuilder::new("demo");
+/// let a = p.array("a", 8, &[1 << 15]);
+/// p.routine("main", |r| {
+///     r.for_("t", 0, 1, |r, _| {
+///         r.for_("i", 0, (1 << 15) - 1, |r, i| {
+///             r.load(a, vec![i.into()]);
+///         });
+///     });
+/// });
+/// let prog = p.finish();
+/// let la = run_locality_analysis(&prog, &MemoryHierarchy::itanium2(), vec![])?;
+/// let l2 = la.level("L2").unwrap();
+/// let t = prog.scope_by_name("t").unwrap();
+/// // The repeat loop carries the L2 capacity misses.
+/// assert_eq!(l2.top_carriers()[0].0, t);
+/// # Ok::<(), reuselens_trace::ExecError>(())
+/// ```
+pub fn run_locality_analysis(
+    program: &Program,
+    hierarchy: &MemoryHierarchy,
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+) -> Result<LocalityAnalysis, ExecError> {
+    let (report, analysis) = evaluate_program(program, hierarchy, index_arrays)?;
+    let sa = StaticAnalysis::analyze(program, &analysis.exec);
+    let cache_metrics = report
+        .levels
+        .iter()
+        .zip(&hierarchy.levels)
+        .map(|(pred, cfg)| {
+            let profile = analysis
+                .profile_at(cfg.line_size)
+                .expect("profile measured for every level");
+            LevelMetrics::compute(program, pred, profile, &sa)
+        })
+        .collect();
+    let tlb_profile = analysis
+        .profile_at(hierarchy.tlb.line_size)
+        .expect("page-granularity profile");
+    let tlb_metrics = LevelMetrics::compute(program, &report.tlb, tlb_profile, &sa);
+    Ok(LocalityAnalysis {
+        report,
+        cache_metrics,
+        tlb_metrics,
+        static_analysis: sa,
+        analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuselens_ir::ProgramBuilder;
+
+    #[test]
+    fn pipeline_produces_consistent_levels() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[8192]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 2, |r, _| {
+                r.for_("i", 0, 8191, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let h = MemoryHierarchy::itanium2_scaled(16);
+        let la = run_locality_analysis(&prog, &h, vec![]).unwrap();
+        assert_eq!(la.cache_metrics.len(), 2);
+        assert_eq!(la.tlb_metrics.level, "TLB");
+        assert!(la.level("L2").is_some());
+        assert!(la.level("TLB").is_some());
+        assert!(la.level("L7").is_none());
+        assert_eq!(la.all_levels().len(), 3);
+        // L2 misses >= L3 misses (smaller cache).
+        let l2 = la.level("L2").unwrap().total_misses;
+        let l3 = la.level("L3").unwrap().total_misses;
+        assert!(l2 >= l3);
+    }
+}

@@ -1,0 +1,170 @@
+//! hpcviewer-style XML export of the scope tree with metrics.
+//!
+//! The paper exports all metrics "in XML format" for exploration in
+//! hpcviewer. This writer produces a self-contained document: a metric
+//! table, the static scope tree with exclusive/inclusive/carried values per
+//! level, and the per-array section (total, fragmentation, irregular
+//! misses).
+
+use crate::report::LocalityAnalysis;
+use reuselens_ir::{Program, ScopeId, ScopeKind};
+use std::fmt::Write as _;
+
+/// Serializes a complete analysis to XML.
+pub fn to_xml(program: &Program, la: &LocalityAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\"?>\n");
+    let _ = writeln!(
+        out,
+        "<LocalityDatabase program={} hierarchy={}>",
+        attr(program.name()),
+        attr(&la.report.hierarchy)
+    );
+
+    // Metric table: 3 metrics per level.
+    out.push_str("  <MetricTable>\n");
+    let mut id = 0;
+    for m in la.all_levels() {
+        for kind in ["exclusive", "inclusive", "carried"] {
+            let _ = writeln!(
+                out,
+                "    <Metric id=\"{id}\" name={} />",
+                attr(&format!("{} {kind} misses", m.level))
+            );
+            id += 1;
+        }
+    }
+    out.push_str("  </MetricTable>\n");
+
+    // Scope tree.
+    write_scope(program, la, ScopeId::ROOT, 1, &mut out);
+
+    // Arrays.
+    out.push_str("  <ArrayTable>\n");
+    for (i, arr) in program.arrays().iter().enumerate() {
+        let _ = write!(out, "    <Array name={}", attr(arr.name()));
+        for m in la.all_levels() {
+            let _ = write!(
+                out,
+                " {}=\"{:.0}\" {}Frag=\"{:.0}\" {}Irregular=\"{:.0}\"",
+                m.level.to_lowercase(),
+                m.by_array[i],
+                m.level.to_lowercase(),
+                m.frag_by_array[i],
+                m.level.to_lowercase(),
+                m.irregular_by_array[i],
+            );
+        }
+        out.push_str(" />\n");
+    }
+    out.push_str("  </ArrayTable>\n");
+    out.push_str("</LocalityDatabase>\n");
+    out
+}
+
+fn write_scope(
+    program: &Program,
+    la: &LocalityAnalysis,
+    scope: ScopeId,
+    depth: usize,
+    out: &mut String,
+) {
+    let info = program.scope(scope);
+    let tag = match info.kind() {
+        ScopeKind::Program => "ProgramScope",
+        ScopeKind::Routine(_) => "RoutineScope",
+        ScopeKind::Loop(_) => "LoopScope",
+    };
+    let pad = "  ".repeat(depth);
+    let _ = write!(out, "{pad}<{tag} name={}", attr(info.name()));
+    let mut mid = 0;
+    for m in la.all_levels() {
+        let s = scope.index();
+        let _ = write!(
+            out,
+            " m{mid}=\"{:.0}\" m{}=\"{:.0}\" m{}=\"{:.0}\"",
+            m.exclusive[s],
+            mid + 1,
+            m.inclusive[s],
+            mid + 2,
+            m.carried[s],
+        );
+        mid += 3;
+    }
+    let children: Vec<ScopeId> = program
+        .scopes()
+        .iter()
+        .filter(|s| s.parent() == Some(scope))
+        .map(|s| s.id())
+        .collect();
+    if children.is_empty() {
+        out.push_str(" />\n");
+    } else {
+        out.push_str(">\n");
+        for c in children {
+            write_scope(program, la, c, depth + 1, out);
+        }
+        let _ = writeln!(out, "{pad}</{tag}>");
+    }
+}
+
+/// Quotes and escapes an XML attribute value.
+fn attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::run_locality_analysis;
+    use reuselens_cache::MemoryHierarchy;
+    use reuselens_ir::ProgramBuilder;
+
+    #[test]
+    fn xml_is_balanced_and_contains_scopes() {
+        let mut p = ProgramBuilder::new("demo<&>");
+        let a = p.array("a", 8, &[2048]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 1, |r, _| {
+                r.for_("i", 0, 2047, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let la =
+            run_locality_analysis(&prog, &MemoryHierarchy::itanium2_scaled(64), vec![]).unwrap();
+        let xml = to_xml(&prog, &la);
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("&lt;&amp;&gt;")); // name escaped
+        assert!(xml.contains("<LoopScope name=\"i\""));
+        assert!(xml.contains("<ArrayTable>"));
+        // Tag balance: every <X ...> has a matching </X> or is self-closed.
+        let opens = xml.matches("<LoopScope").count();
+        let self_closed = xml
+            .lines()
+            .filter(|l| l.trim_start().starts_with("<LoopScope") && l.trim_end().ends_with("/>"))
+            .count();
+        let closes = xml.matches("</LoopScope>").count();
+        assert_eq!(opens, self_closed + closes);
+    }
+
+    #[test]
+    fn attr_escapes_quotes() {
+        assert_eq!(attr(r#"a"b"#), r#""a&quot;b""#);
+        assert_eq!(attr("x'y"), "\"x&apos;y\"");
+    }
+}

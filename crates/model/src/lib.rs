@@ -1,0 +1,25 @@
+//! # reuselens-model — cross-input scaling of reuse patterns
+//!
+//! The paper's tool does not just measure one run: it *models* how each
+//! reuse pattern's distance histogram scales with problem size, so cache
+//! misses can be predicted for inputs never measured. This crate implements
+//! that modeling layer:
+//!
+//! * [`fit_scaling`] — penalized best-subset least squares over the basis
+//!   {1, n, n·log n, n^1.5, n², n³};
+//! * [`HistogramModel`] — quantile-sliced histogram scaling;
+//! * [`ProfileModel`] — whole-profile models whose [`ProfileModel::predict`]
+//!   output plugs straight into `reuselens_cache::predict_level`.
+//!
+//! Because the analyzer collects distances *per pattern* (source scope ×
+//! carrying scope), each fitted family is homogeneous — the refinement the
+//! paper credits for more accurate models on regular codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fit;
+mod histmodel;
+
+pub use fit::{fit_scaling, Basis, Fit, ALL_BASIS};
+pub use histmodel::{HistogramModel, ProfileModel};

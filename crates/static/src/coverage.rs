@@ -1,0 +1,125 @@
+//! Hot-footprint coverage via modular arithmetic (paper §III, step 3).
+//!
+//! Given a reuse group whose references walk memory with a common stride
+//! `s`, all accesses of one reference land at the same phase `offset mod s`
+//! of an `s`-byte window. The *coverage* of the group is the number of
+//! distinct bytes its references touch inside that window; the rest of the
+//! window is fetched into cache but never used.
+
+/// Computes the number of distinct bytes covered in a window of `s` bytes
+/// by accesses at the given `(byte offset, access width)` pairs, with each
+/// offset reduced modulo `s` (wrapping accesses split across the window
+/// boundary).
+///
+/// # Panics
+///
+/// Panics if `s` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_static::coverage;
+///
+/// // Fig. 2 of the paper: A(I+2,J), A(I+3,J) with stride 32 B and 8-byte
+/// // elements cover bytes [16,32) of each window: coverage 16 of 32.
+/// assert_eq!(coverage(32, &[(16, 8), (24, 8)]), 16);
+/// // All four B references cover the whole window.
+/// assert_eq!(coverage(32, &[(8, 8), (24, 8), (0, 8), (16, 8)]), 32);
+/// ```
+pub fn coverage(s: u64, accesses: &[(i64, u32)]) -> u64 {
+    assert!(s > 0, "window size must be positive");
+    let mut intervals: Vec<(u64, u64)> = Vec::with_capacity(accesses.len() + 1);
+    for &(offset, width) in accesses {
+        let width = width as u64;
+        if width >= s {
+            return s;
+        }
+        let phase = offset.rem_euclid(s as i64) as u64;
+        if phase + width <= s {
+            intervals.push((phase, phase + width));
+        } else {
+            // wraps around the window boundary
+            intervals.push((phase, s));
+            intervals.push((0, phase + width - s));
+        }
+    }
+    intervals.sort_unstable();
+    let mut covered = 0;
+    let mut cur: Option<(u64, u64)> = None;
+    for (lo, hi) in intervals {
+        match cur {
+            Some((clo, chi)) if lo <= chi => cur = Some((clo, chi.max(hi))),
+            Some((clo, chi)) => {
+                covered += chi - clo;
+                cur = Some((lo, hi));
+            }
+            None => cur = Some((lo, hi)),
+        }
+    }
+    if let Some((clo, chi)) = cur {
+        covered += chi - clo;
+    }
+    covered.min(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_access_covers_its_width() {
+        assert_eq!(coverage(32, &[(0, 8)]), 8);
+        assert_eq!(coverage(32, &[(100, 4)]), 4); // 100 mod 32 = 4
+    }
+
+    #[test]
+    fn overlapping_accesses_do_not_double_count() {
+        assert_eq!(coverage(32, &[(0, 8), (4, 8)]), 12);
+        assert_eq!(coverage(32, &[(0, 8), (0, 8)]), 8);
+    }
+
+    #[test]
+    fn negative_offsets_reduce_correctly() {
+        // -8 mod 32 = 24
+        assert_eq!(coverage(32, &[(-8, 8)]), 8);
+        assert_eq!(coverage(32, &[(-8, 8), (24, 8)]), 8);
+    }
+
+    #[test]
+    fn wrapping_access_splits() {
+        // phase 28, width 8 covers [28,32) and [0,4)
+        assert_eq!(coverage(32, &[(28, 8)]), 8);
+        assert_eq!(coverage(32, &[(28, 8), (0, 4)]), 8);
+        assert_eq!(coverage(32, &[(28, 8), (4, 4)]), 12);
+    }
+
+    #[test]
+    fn wide_access_saturates() {
+        assert_eq!(coverage(8, &[(3, 64)]), 8);
+    }
+
+    #[test]
+    fn empty_access_list_covers_nothing() {
+        assert_eq!(coverage(32, &[]), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_bitmap_reference(
+            s in 1u64..128,
+            accesses in proptest::collection::vec((-200i64..200, 1u32..32), 0..12),
+        ) {
+            let fast = coverage(s, &accesses);
+            let mut bytes = vec![false; s as usize];
+            for &(off, w) in &accesses {
+                for k in 0..w as u64 {
+                    let pos = (off.rem_euclid(s as i64) as u64 + k) % s;
+                    bytes[pos as usize] = true;
+                }
+            }
+            let naive = bytes.iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(fast, naive);
+        }
+    }
+}

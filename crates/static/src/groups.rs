@@ -1,0 +1,400 @@
+//! Related-reference grouping, reuse-group splitting, and fragmentation
+//! factors — the three-step algorithm of paper §III.
+
+use crate::coverage::coverage;
+use crate::formulas::{compute_formulas, RefFormulas};
+use reuselens_ir::{ArrayId, Program, RefId, ScopeId, Stride};
+use reuselens_trace::ExecReport;
+use std::collections::HashMap;
+
+/// A group of *related references*: same array, same symbolic stride with
+/// respect to every enclosing loop, in the same loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelatedGroup {
+    /// The array the group accesses.
+    pub array: ArrayId,
+    /// Members of the group.
+    pub refs: Vec<RefId>,
+    /// Step-1 result: the enclosing loop with the smallest nonzero
+    /// constant byte stride, with that stride (signed).
+    pub min_stride_loop: Option<(ScopeId, i64)>,
+    /// Step-2 result: the reuse groups the related references split into.
+    pub reuse_groups: Vec<Vec<RefId>>,
+    /// Step-3 result: the fragmentation factor `1 − max coverage / |s|`,
+    /// or `None` when no constant-stride loop exists.
+    pub fragmentation: Option<f64>,
+    /// The inside-out loop scan hit an irregular stride.
+    pub irregular: bool,
+    /// The inside-out loop scan hit an indirect stride.
+    pub indirect: bool,
+}
+
+/// The full static-analysis result: per-reference formulas plus the related
+/// groups with their fragmentation factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticAnalysis {
+    /// Symbolic formulas per reference, indexed by [`RefId`].
+    pub formulas: Vec<RefFormulas>,
+    /// All related groups.
+    pub groups: Vec<RelatedGroup>,
+    frag_of_ref: Vec<Option<f64>>,
+}
+
+impl StaticAnalysis {
+    /// Runs the complete static analysis. Average loop trip counts (used by
+    /// the reuse-group splitting rule) come from the dynamic `exec` report,
+    /// as in the paper.
+    pub fn analyze(program: &Program, exec: &ExecReport) -> StaticAnalysis {
+        let formulas = compute_formulas(program);
+        let groups = build_groups(program, &formulas, exec);
+        let mut frag_of_ref = vec![None; formulas.len()];
+        for g in &groups {
+            for &r in &g.refs {
+                frag_of_ref[r.index()] = g.fragmentation;
+            }
+        }
+        StaticAnalysis {
+            formulas,
+            groups,
+            frag_of_ref,
+        }
+    }
+
+    /// The fragmentation factor of the related group containing `r`
+    /// (`None` when the group has no constant-stride loop).
+    pub fn fragmentation_of(&self, r: RefId) -> Option<f64> {
+        self.frag_of_ref.get(r.index()).copied().flatten()
+    }
+
+    /// True when a reuse pattern ending at `sink` and carried by `carrier`
+    /// is *irregular*: the carrying scope produces an irregular or indirect
+    /// stride formula at the destination reference (paper §III).
+    pub fn is_irregular_pattern(&self, sink: RefId, carrier: ScopeId) -> bool {
+        matches!(
+            self.formulas[sink.index()].stride_at(carrier),
+            Some(Stride::Irregular) | Some(Stride::Indirect)
+        )
+    }
+
+    /// The related group containing `r`, if any.
+    pub fn group_of(&self, r: RefId) -> Option<&RelatedGroup> {
+        self.groups.iter().find(|g| g.refs.contains(&r))
+    }
+}
+
+/// Key identifying a related-reference bucket: array, enclosing loop
+/// chain, and the stride vector.
+type GroupKey = (ArrayId, Vec<ScopeId>, Vec<(ScopeId, Stride)>);
+
+fn build_groups(
+    program: &Program,
+    formulas: &[RefFormulas],
+    exec: &ExecReport,
+) -> Vec<RelatedGroup> {
+    // Group by (array, enclosing loop chain, strides). References outside
+    // any loop form their own singleton groups.
+    let mut buckets: HashMap<GroupKey, Vec<RefId>> = HashMap::new();
+    let mut order: Vec<GroupKey> = Vec::new();
+    for f in formulas {
+        let chain = program.enclosing_loops(program.reference(f.r).scope());
+        let key = (f.array, chain, f.strides.clone());
+        buckets
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            })
+            .push(f.r);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let refs = buckets.remove(&key).expect("bucket exists");
+            make_group(program, formulas, exec, key.0, refs)
+        })
+        .collect()
+}
+
+fn make_group(
+    program: &Program,
+    formulas: &[RefFormulas],
+    exec: &ExecReport,
+    array: ArrayId,
+    refs: Vec<RefId>,
+) -> RelatedGroup {
+    let rep = &formulas[refs[0].index()];
+
+    // Step 1: walk the enclosing loops inside-out looking for the smallest
+    // nonzero constant stride; stop at the first irregular/indirect stride.
+    let mut min_stride: Option<(ScopeId, i64)> = None;
+    let mut irregular = false;
+    let mut indirect = false;
+    for &(scope, stride) in &rep.strides {
+        match stride {
+            Stride::Constant(0) => continue,
+            Stride::Constant(c) => {
+                if min_stride.map(|(_, s)| c.abs() < s.abs()).unwrap_or(true) {
+                    min_stride = Some((scope, c));
+                }
+            }
+            Stride::Irregular => {
+                irregular = true;
+                break;
+            }
+            Stride::Indirect => {
+                indirect = true;
+                break;
+            }
+        }
+    }
+
+    let Some((loop_scope, s)) = min_stride else {
+        return RelatedGroup {
+            array,
+            reuse_groups: refs.iter().map(|&r| vec![r]).collect(),
+            refs,
+            min_stride_loop: None,
+            fragmentation: None,
+            irregular,
+            indirect,
+        };
+    };
+
+    // Step 2: split into reuse groups. Two references share a reuse group
+    // when their first-location formulas differ by a constant small enough
+    // that one reaches the other's window within the loop's average trip
+    // count.
+    let avg_trip = exec.average_trip(loop_scope).max(0.0);
+    let mut reuse_groups: Vec<Vec<RefId>> = Vec::new();
+    for &r in &refs {
+        let fr = &formulas[r.index()];
+        let mut placed = false;
+        for group in &mut reuse_groups {
+            let leader = &formulas[group[0].index()];
+            if let (Some(a), Some(b)) = (&fr.first_location, &leader.first_location) {
+                let delta = a.sub(b);
+                if delta.is_constant() {
+                    let iterations = delta.constant.abs() as f64 / s.abs() as f64;
+                    if iterations <= avg_trip {
+                        group.push(r);
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !placed {
+            reuse_groups.push(vec![r]);
+        }
+    }
+
+    // Step 3: hot footprint of each reuse group; the group fragmentation is
+    // taken from the best-covered reuse group.
+    let window = s.unsigned_abs();
+    let mut max_cov = 0u64;
+    for group in &reuse_groups {
+        let accesses: Vec<(i64, u32)> = group
+            .iter()
+            .filter_map(|&r| {
+                let f = &formulas[r.index()];
+                f.first_location
+                    .as_ref()
+                    .map(|loc| (eval_at_lower_bounds(program, loc), f.elem_size))
+            })
+            .collect();
+        max_cov = max_cov.max(coverage(window, &accesses));
+    }
+    let fragmentation = Some(1.0 - max_cov as f64 / window as f64);
+
+    RelatedGroup {
+        array,
+        refs,
+        min_stride_loop: Some((loop_scope, s)),
+        reuse_groups,
+        fragmentation,
+        irregular,
+        indirect,
+    }
+}
+
+/// Evaluates a first-location formula with every loop variable at zero —
+/// only *relative* offsets between references in a group matter, and they
+/// share identical coefficients on all loop variables (equal strides), so
+/// any common assignment gives the right phase differences. Using zero also
+/// keeps the phases equal to the formulas' constant terms.
+fn eval_at_lower_bounds(_program: &Program, loc: &reuselens_ir::Affine) -> i64 {
+    loc.constant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuselens_ir::{Expr, ProgramBuilder};
+    use reuselens_trace::{Executor, NullSink};
+
+    /// The paper's Figure 2 loop:
+    /// ```fortran
+    /// DO J = 1, M
+    ///   DO I = 1, N, 4
+    ///     A(I+2,J) = A(I,J-1) + B(I+1,J) - B(I+3,J)
+    ///     A(I+3,J) = A(I+1,J-1) + B(I,J) - B(I+2,J)
+    /// ```
+    fn fig2_program() -> reuselens_ir::Program {
+        let (n, m) = (64u64, 8u64);
+        let mut p = ProgramBuilder::new("fig2");
+        let a = p.array("a", 8, &[n + 4, m + 1]);
+        let b = p.array("b", 8, &[n + 4, m + 1]);
+        p.routine("main", |r| {
+            r.for_("j", 1, m as i64, |r, j| {
+                r.for_step("i", 0, (n - 4) as i64, 4, |r, i| {
+                    let iv = Expr::var(i);
+                    let jv = Expr::var(j);
+                    r.load(a, vec![iv.clone(), jv.clone() - 1]); // A(I,J-1)
+                    r.load(b, vec![iv.clone() + 1, jv.clone()]); // B(I+1,J)
+                    r.load(b, vec![iv.clone() + 3, jv.clone()]); // B(I+3,J)
+                    r.store(a, vec![iv.clone() + 2, jv.clone()]); // A(I+2,J)
+                    r.load(a, vec![iv.clone() + 1, jv.clone() - 1]); // A(I+1,J-1)
+                    r.load(b, vec![iv.clone(), jv.clone()]); // B(I,J)
+                    r.load(b, vec![iv.clone() + 2, jv.clone()]); // B(I+2,J)
+                    r.store(a, vec![iv + 3, jv]); // A(I+3,J)
+                });
+            });
+        });
+        p.finish()
+    }
+
+    fn analyzed(prog: &reuselens_ir::Program) -> StaticAnalysis {
+        let exec = Executor::new(prog).run(&mut NullSink).unwrap();
+        StaticAnalysis::analyze(prog, &exec)
+    }
+
+    #[test]
+    fn fig2_fragmentation_factors_match_paper() {
+        let prog = fig2_program();
+        let sa = analyzed(&prog);
+        let a = prog.array_by_name("a").unwrap();
+        let b = prog.array_by_name("b").unwrap();
+        let ga = sa.groups.iter().find(|g| g.array == a).unwrap();
+        let gb = sa.groups.iter().find(|g| g.array == b).unwrap();
+        // Stride: inner loop I with step 4 => 32 bytes, as in the paper.
+        let i_scope = prog.scope_by_name("i").unwrap();
+        assert_eq!(ga.min_stride_loop, Some((i_scope, 32)));
+        assert_eq!(gb.min_stride_loop, Some((i_scope, 32)));
+        // A splits into two reuse groups of two refs each; B stays whole.
+        assert_eq!(ga.refs.len(), 4);
+        assert_eq!(ga.reuse_groups.len(), 2);
+        assert!(ga.reuse_groups.iter().all(|g| g.len() == 2));
+        assert_eq!(gb.reuse_groups.len(), 1);
+        assert_eq!(gb.reuse_groups[0].len(), 4);
+        // Fragmentation: A = 0.5, B = 0.
+        assert!((ga.fragmentation.unwrap() - 0.5).abs() < 1e-9);
+        assert!((gb.fragmentation.unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragmentation_of_maps_refs_to_their_group() {
+        let prog = fig2_program();
+        let sa = analyzed(&prog);
+        let b = prog.array_by_name("b").unwrap();
+        for r in prog.references() {
+            let f = sa.fragmentation_of(r.id()).unwrap();
+            if r.array() == b {
+                assert_eq!(f, 0.0);
+            } else {
+                assert!((f - 0.5).abs() < 1e-9);
+            }
+            assert!(sa.group_of(r.id()).is_some());
+        }
+    }
+
+    #[test]
+    fn aos_field_access_has_high_fragmentation() {
+        // zion(7, n) column-major, loop reads field 2 of each particle:
+        // stride 56 B, coverage 8 B => fragmentation 6/7.
+        let n = 128u64;
+        let mut p = ProgramBuilder::new("aos");
+        let zion = p.array("zion", 8, &[7, n]);
+        p.routine("main", |r| {
+            r.for_("i", 0, (n - 1) as i64, |r, i| {
+                r.load(zion, vec![Expr::c(2), i.into()]);
+            });
+        });
+        let prog = p.finish();
+        let sa = analyzed(&prog);
+        let f = sa.fragmentation_of(prog.references()[0].id()).unwrap();
+        assert!((f - 6.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soa_access_has_zero_fragmentation() {
+        let n = 128u64;
+        let mut p = ProgramBuilder::new("soa");
+        let zion = p.array("zion", 8, &[n, 7]); // transposed
+        p.routine("main", |r| {
+            r.for_("i", 0, (n - 1) as i64, |r, i| {
+                r.load(zion, vec![i.into(), Expr::c(2)]);
+            });
+        });
+        let prog = p.finish();
+        let sa = analyzed(&prog);
+        let f = sa.fragmentation_of(prog.references()[0].id()).unwrap();
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn indirect_group_has_no_fragmentation_factor() {
+        let mut p = ProgramBuilder::new("gather");
+        let ix = p.index_array("ix", &[64]);
+        let a = p.array("a", 8, &[1000]);
+        p.routine("main", |r| {
+            r.for_("i", 0, 63, |r, i| {
+                r.load(a, vec![Expr::load(ix, vec![i.into()])]);
+            });
+        });
+        let prog = p.finish();
+        let mut exec = Executor::new(&prog);
+        exec.fill_index_array(ix, |k| k as i64);
+        let report = exec.run(&mut NullSink).unwrap();
+        let sa = StaticAnalysis::analyze(&prog, &report);
+        let g = sa.group_of(prog.references()[0].id()).unwrap();
+        assert!(g.indirect);
+        assert!(g.fragmentation.is_none());
+        assert!(sa.fragmentation_of(prog.references()[0].id()).is_none());
+        let i_scope = prog.scope_by_name("i").unwrap();
+        assert!(sa.is_irregular_pattern(prog.references()[0].id(), i_scope));
+    }
+
+    #[test]
+    fn regular_pattern_is_not_irregular() {
+        let prog = fig2_program();
+        let sa = analyzed(&prog);
+        let i_scope = prog.scope_by_name("i").unwrap();
+        let j_scope = prog.scope_by_name("j").unwrap();
+        let r0 = prog.references()[0].id();
+        assert!(!sa.is_irregular_pattern(r0, i_scope));
+        assert!(!sa.is_irregular_pattern(r0, j_scope));
+        // A scope that doesn't enclose the sink: no stride formula => regular.
+        assert!(!sa.is_irregular_pattern(r0, reuselens_ir::ScopeId::ROOT));
+    }
+
+    #[test]
+    fn far_apart_refs_split_into_reuse_groups() {
+        // Two refs to the same array offset by more than the loop covers.
+        let n = 16u64;
+        let mut p = ProgramBuilder::new("far");
+        let a = p.array("a", 8, &[4096]);
+        p.routine("main", |r| {
+            r.for_("i", 0, (n - 1) as i64, |r, i| {
+                r.load(a, vec![i.into()]);
+                r.load(a, vec![Expr::var(i) + 2048]);
+            });
+        });
+        let prog = p.finish();
+        let sa = analyzed(&prog);
+        let g = &sa.groups[0];
+        // 2048 elements apart, loop trips 16: distinct reuse groups.
+        assert_eq!(g.reuse_groups.len(), 2);
+        // Each covers its full 8-byte window (stride 8): no fragmentation.
+        assert_eq!(g.fragmentation, Some(0.0));
+    }
+}

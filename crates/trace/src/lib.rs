@@ -1,0 +1,40 @@
+//! # reuselens-trace — deterministic trace execution
+//!
+//! Interprets a [`reuselens_ir::Program`] and emits the instrumentation
+//! event stream the paper's binary rewriter would produce: one event per
+//! memory access (reference id, virtual address, width, load/store) and one
+//! per routine/loop entry and exit.
+//!
+//! Analyzers implement [`TraceSink`] and observe events online — nothing is
+//! materialized unless a test asks for it with [`VecSink`].
+//!
+//! # Examples
+//!
+//! ```
+//! use reuselens_ir::ProgramBuilder;
+//! use reuselens_trace::{Executor, VecSink};
+//!
+//! let mut p = ProgramBuilder::new("demo");
+//! let a = p.array("a", 8, &[8, 8]);
+//! p.routine("main", |r| {
+//!     r.for_("j", 0, 7, |r, j| {
+//!         r.for_("i", 0, 7, |r, i| {
+//!             r.store(a, vec![i.into(), j.into()]);
+//!         });
+//!     });
+//! });
+//! let prog = p.finish();
+//! let mut sink = VecSink::new();
+//! let report = Executor::new(&prog).run(&mut sink)?;
+//! assert_eq!(report.stores, 64);
+//! # Ok::<(), reuselens_trace::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod exec;
+
+pub use event::{Event, NullSink, TeeSink, TraceSink, VecSink};
+pub use exec::{ExecError, ExecReport, Executor, LoopStats};

@@ -1,0 +1,64 @@
+//! The paper's §V-A tuning session on the Sweep3D model: find the loop
+//! carrying the misses, block the angle dimension, interchange array
+//! dimensions, and measure the win at every memory level.
+//!
+//! Run with: `cargo run --release --example sweep3d_tuning`
+
+use reuselens::cache::{evaluate_program, MemoryHierarchy};
+use reuselens::metrics::{format_carried_misses, run_locality_analysis};
+use reuselens::workloads::sweep3d::{build, SweepConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mesh = 12;
+    let h = MemoryHierarchy::itanium2_scaled(16);
+    println!("Sweep3D {mesh}^3 on {h}\n");
+
+    // Step 1: analyze the original code.
+    let orig = build(&SweepConfig::new(mesh));
+    let la = run_locality_analysis(&orig.program, &h, orig.index_arrays.clone())?;
+    println!("-- original: who carries the misses? --");
+    print!(
+        "{}",
+        format_carried_misses(&orig.program, &la.all_levels(), 0.05)
+    );
+    let idiag = orig.program.scope_by_name("idiag").unwrap();
+    let l2 = la.level("L2").unwrap();
+    println!(
+        "\nThe idiag (wavefront) loop carries {:.0}% of L2 misses: cells that",
+        100.0 * l2.carried[idiag.index()] / l2.total_misses
+    );
+    println!("differ only in the angle coordinate touch the same src/flux/face data");
+    println!("on adjacent diagonals, too far apart to stay in cache.\n");
+
+    // Step 2: block the angle dimension (paper Fig. 7) and interchange the
+    // src/flux `n` dimension.
+    println!("-- applying mi-blocking and dimension interchange --\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "variant", "L2/cell", "L3/cell", "TLB/cell", "cycles/cell"
+    );
+    for (label, block, dim_ic) in [
+        ("original", 1u64, false),
+        ("block 2", 2, false),
+        ("block 3", 3, false),
+        ("block 6", 6, false),
+        ("blk6+dimIC", 6, true),
+    ] {
+        let mut cfg = SweepConfig::new(mesh).with_mi_block(block);
+        if dim_ic {
+            cfg = cfg.with_dim_interchange();
+        }
+        let w = build(&cfg);
+        let (report, _) = evaluate_program(&w.program, &h, w.index_arrays.clone())?;
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>12.3} {:>12.1}",
+            label,
+            w.normalize(report.misses_at("L2").unwrap()),
+            w.normalize(report.misses_at("L3").unwrap()),
+            w.normalize(report.misses_at("TLB").unwrap()),
+            w.normalize(report.timing.total()),
+        );
+    }
+    println!("\n(paper: misses drop by integer factors; 2.5x overall speedup)");
+    Ok(())
+}

@@ -1,0 +1,433 @@
+//! The `reuselens` command-line tool: run the locality analysis on the
+//! built-in workload models and print any of the paper's report views.
+//!
+//! ```text
+//! reuselens sweep3d --mesh 16 --report carried
+//! reuselens sweep3d --mesh 12 --block 6 --dim-ic --report summary
+//! reuselens gtc --mgrid 512 --micell 16 --report frag
+//! reuselens gtc --variant 6 --report advice
+//! reuselens kernel fig1a --report advice
+//! reuselens kernel fig2 --report spatial
+//! ```
+//!
+//! `--scale S` divides the Itanium2 hierarchy capacities by `S`
+//! (default 16, matching the CI-sized default workloads; use `--scale 1`
+//! with larger sizes for full-scale runs). `--report xml` dumps the
+//! hpcviewer-style database to stdout.
+//!
+//! The paper's train-then-predict workflow:
+//!
+//! ```text
+//! reuselens sweep3d --mesh 8  --save-profile m8.rlp
+//! reuselens sweep3d --mesh 10 --save-profile m10.rlp
+//! reuselens sweep3d --mesh 12 --save-profile m12.rlp
+//! reuselens predict --at 16 --level L2 m8.rlp m10.rlp m12.rlp
+//! ```
+
+use reuselens::advisor::{describe, detect_time_loops, Advisor};
+use reuselens::cache::MemoryHierarchy;
+use reuselens::cache::{miss_curve, predict_level};
+use reuselens::core::{
+    measure_spatial, read_profiles, write_profiles, ContextAnalyzer, SavedProfiles,
+};
+use reuselens::model::ProfileModel;
+use reuselens::ir::Program;
+use reuselens::metrics::{
+    format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
+    format_spatial, format_summary, run_locality_analysis, to_xml, LocalityAnalysis,
+};
+use reuselens::workloads::gtc::{build as build_gtc, GtcConfig, GtcTransforms};
+use reuselens::workloads::kernels;
+use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
+use reuselens::workloads::BuiltWorkload;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+reuselens — reuse-distance data-locality analysis (ISPASS 2008 reproduction)
+
+USAGE:
+    reuselens <WORKLOAD> [OPTIONS] [--report <VIEW>]
+
+WORKLOADS:
+    sweep3d     the wavefront transport kernel (paper §V-A)
+        --mesh <N>         cubic mesh extent        [default: 12]
+        --block <B>        angle-blocking factor    [default: 1]
+        --dim-ic           interchange src/flux dimensions
+        --octant-inner     Ding & Zhong-style octant restructuring (§VI)
+        --timesteps <T>    simulated time steps     [default: 1]
+    gtc         the particle-in-cell kernel (paper §V-B)
+        --mgrid <N>        grid points              [default: 512]
+        --micell <M>       particles per cell       [default: 16]
+        --variant <0..6>   cumulative transformations (paper Fig. 11 legend)
+        --timesteps <T>    simulated time steps     [default: 1]
+    kernel <NAME>
+        fig1a | fig1b | fig2 | stream | gather | stencil |
+        matmul | matmul-tiled | transpose
+    predict     fit the scaling model on saved profiles, predict a new size
+        --at <N>           problem size to predict    (required)
+        --level <L>        cache level                [default: L2]
+        <FILES...>         profiles saved with --save-profile
+
+COMMON OPTIONS:
+    --scale <S>     divide Itanium2 capacities by S   [default: 16]
+    --report <V>    summary | carried | breakdown=<array> | frag |
+                    patterns | patterns-csv | advice | spatial | curve |
+                    contexts | program | xml
+                                                       [default: summary]
+    --level <L>     level for patterns/advice/breakdown [default: L2]
+    --save-profile <PATH>   save the measured reuse profiles for `predict`
+    --size <N>      problem-size tag stored with --save-profile
+
+EXAMPLES:
+    reuselens sweep3d --mesh 16 --report carried
+    reuselens gtc --report frag
+    reuselens kernel fig1a --report advice
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` and boolean `--key`.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for {key}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(workload) = args.first() else {
+        return Err("missing workload".into());
+    };
+    if workload == "help" || workload == "--help" || workload == "-h" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = Flags { args: &args[1..] };
+    if workload == "predict" {
+        return run_predict(&flags);
+    }
+    let scale: u64 = flags.parsed("--scale", 16)?;
+    let hierarchy = if scale <= 1 {
+        MemoryHierarchy::itanium2()
+    } else {
+        MemoryHierarchy::itanium2_scaled(scale)
+    };
+    let report = flags.value("--report").unwrap_or("summary");
+    let level = flags.value("--level").unwrap_or("L2");
+
+    let w = build_workload(workload.as_str(), &flags)?;
+    eprintln!(
+        "analyzing `{}` on {hierarchy} ...",
+        w.program.name()
+    );
+
+    if report == "program" {
+        print!("{}", w.program);
+        return Ok(());
+    }
+    if report == "contexts" {
+        // Calling-context-sensitive view (paper §IV extension): the top
+        // context-split patterns by reuse count.
+        let mut an = ContextAnalyzer::new(&w.program, hierarchy.levels[0].line_size);
+        let mut exec = reuselens::trace::Executor::new(&w.program);
+        for (arr, data) in &w.index_arrays {
+            exec.set_index_array(*arr, data.clone());
+        }
+        exec.run(&mut an).map_err(|e| e.to_string())?;
+        let profile = an.finish();
+        let mut rows: Vec<_> = profile.patterns.iter().collect();
+        rows.sort_by_key(|p| std::cmp::Reverse(p.histogram.total()));
+        println!(
+            "{:<26} {:<34} {:>10} {:>12}",
+            "sink", "calling context", "reuses", "mean dist"
+        );
+        for p in rows.iter().take(20) {
+            let sink = w.program.reference(p.key.sink);
+            println!(
+                "{:<26} {:<34} {:>10} {:>12.0}",
+                sink.label().chars().take(25).collect::<String>(),
+                profile
+                    .context_path(&w.program, p.key.context)
+                    .chars()
+                    .take(33)
+                    .collect::<String>(),
+                p.histogram.total(),
+                p.histogram.mean().unwrap_or(0.0),
+            );
+        }
+        return Ok(());
+    }
+    if report == "spatial" {
+        let profile = measure_spatial(
+            &w.program,
+            hierarchy.levels[0].line_size,
+            w.index_arrays.clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        print!("{}", format_spatial(&w.program, &profile));
+        return Ok(());
+    }
+
+    let la = run_locality_analysis(&w.program, &hierarchy, w.index_arrays.clone())
+        .map_err(|e| e.to_string())?;
+
+    if let Some(path) = flags.value("--save-profile") {
+        let size: f64 = flags.parsed("--size", default_size(workload, &flags)?)?;
+        let saved = SavedProfiles {
+            name: w.program.name().to_string(),
+            size,
+            profiles: la.analysis.profiles.clone(),
+        };
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        write_profiles(&saved, std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("saved profiles to {path} (size tag {size})");
+    }
+
+    if report == "curve" {
+        // Mattson curve at the first cache level's line size.
+        let line = hierarchy.levels[0].line_size;
+        let profile = la
+            .analysis
+            .profile_at(line)
+            .ok_or("no line-granularity profile")?;
+        let caps: Vec<u64> = (4..=22).map(|p| 1u64 << p).collect();
+        println!("capacity_blocks,capacity_bytes,misses");
+        for (cap, misses) in miss_curve(profile, &caps) {
+            println!("{cap},{},{misses:.0}", cap * line);
+        }
+        return Ok(());
+    }
+
+    print_report(&w.program, &la, report, level)
+}
+
+/// The natural problem-size tag per workload (overridable with `--size`).
+fn default_size(workload: &str, flags: &Flags<'_>) -> Result<f64, String> {
+    Ok(match workload {
+        "sweep3d" => flags.parsed("--mesh", 12u64)? as f64,
+        "gtc" => flags.parsed("--micell", 16u64)? as f64,
+        _ => 0.0,
+    })
+}
+
+/// `reuselens predict --at N [--level L2] file1.rlp file2.rlp ...`
+fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
+    let at: f64 = flags
+        .value("--at")
+        .ok_or("predict requires --at <size>")?
+        .parse()
+        .map_err(|_| "bad --at value".to_string())?;
+    let level = flags.value("--level").unwrap_or("L2");
+    let scale: u64 = flags.parsed("--scale", 16)?;
+    let hierarchy = if scale <= 1 {
+        MemoryHierarchy::itanium2()
+    } else {
+        MemoryHierarchy::itanium2_scaled(scale)
+    };
+    let cfg = hierarchy
+        .level(level)
+        .ok_or_else(|| format!("no cache level '{level}'"))?;
+
+    // Positional args: every token that is not a flag or a flag value.
+    let mut files = Vec::new();
+    let mut skip = false;
+    for a in flags.args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = matches!(a.as_str(), "--at" | "--level" | "--scale");
+            continue;
+        }
+        files.push(a.clone());
+    }
+    if files.len() < 2 {
+        return Err("predict needs at least two saved profiles".into());
+    }
+
+    let mut sizes = Vec::new();
+    let mut profiles = Vec::new();
+    for f in &files {
+        let file = std::fs::File::open(f).map_err(|e| format!("cannot open {f}: {e}"))?;
+        let saved = read_profiles(std::io::BufReader::new(file))
+            .map_err(|e| format!("{f}: {e}"))?;
+        let profile = saved
+            .profile_at(cfg.line_size)
+            .ok_or_else(|| format!("{f} has no profile at {} B lines", cfg.line_size))?
+            .clone();
+        eprintln!("loaded {f}: size {} ({} accesses)", saved.size, profile.total_accesses);
+        sizes.push(saved.size);
+        profiles.push(profile);
+    }
+    let refs: Vec<&_> = profiles.iter().collect();
+    let model = ProfileModel::fit(&sizes, &refs, 16);
+    let predicted_profile = model.predict(at);
+    let prediction = predict_level(&predicted_profile, cfg);
+    println!("predicted {} misses at size {at}: {:.0}", cfg.name, prediction.total);
+    println!("  cold (compulsory): {}", prediction.cold);
+    println!("  accesses:          {}", predicted_profile.total_accesses);
+    println!(
+        "  miss rate:         {:.2}%",
+        100.0 * prediction.miss_rate()
+    );
+    Ok(())
+}
+
+fn build_workload(kind: &str, flags: &Flags<'_>) -> Result<BuiltWorkload, String> {
+    match kind {
+        "sweep3d" => {
+            let mesh = flags.parsed("--mesh", 12u64)?;
+            let block = flags.parsed("--block", 1u64)?;
+            let timesteps = flags.parsed("--timesteps", 1u64)?;
+            let mut cfg = SweepConfig::new(mesh).with_timesteps(timesteps);
+            if flags.flag("--octant-inner") {
+                cfg = cfg.with_octant_inner();
+            } else {
+                cfg = cfg.with_mi_block(block);
+            }
+            if flags.flag("--dim-ic") {
+                cfg = cfg.with_dim_interchange();
+            }
+            Ok(build_sweep(&cfg))
+        }
+        "gtc" => {
+            let mgrid = flags.parsed("--mgrid", 512u64)?;
+            let micell = flags.parsed("--micell", 16u64)?;
+            let variant: usize = flags.parsed("--variant", 0usize)?;
+            if variant > 6 {
+                return Err("--variant must be 0..=6".into());
+            }
+            let timesteps = flags.parsed("--timesteps", 1u64)?;
+            Ok(build_gtc(
+                &GtcConfig::new(mgrid, micell)
+                    .with_transforms(GtcTransforms::cumulative(variant))
+                    .with_timesteps(timesteps),
+            ))
+        }
+        "kernel" => {
+            let name = flags
+                .args
+                .first()
+                .ok_or_else(|| "kernel needs a name".to_string())?;
+            match name.as_str() {
+                "fig1a" => Ok(kernels::fig1_interchange(
+                    512,
+                    2048,
+                    kernels::Fig1Variant::RowOrder,
+                )),
+                "fig1b" => Ok(kernels::fig1_interchange(
+                    512,
+                    2048,
+                    kernels::Fig1Variant::Interchanged,
+                )),
+                "fig2" => Ok(kernels::fig2_fragmentation(64, 16)),
+                "stream" => Ok(kernels::streaming(1 << 16, 4)),
+                "gather" => Ok(kernels::random_gather(1 << 15, 1 << 14, 3, 42)),
+                "stencil" => Ok(kernels::stencil2d(128, 3)),
+                "matmul" => Ok(kernels::matmul(96, None)),
+                "matmul-tiled" => Ok(kernels::matmul(96, Some(16))),
+                "transpose" => Ok(kernels::transpose(256)),
+                other => Err(format!("unknown kernel '{other}'")),
+            }
+        }
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+fn print_report(
+    program: &Program,
+    la: &LocalityAnalysis,
+    report: &str,
+    level: &str,
+) -> Result<(), String> {
+    let metrics = |name: &str| {
+        la.level(name)
+            .ok_or_else(|| format!("no level named '{name}'"))
+    };
+    match report {
+        "summary" => {
+            print!("{}", format_summary(la));
+            println!();
+            print!("{}", format_carried_misses(program, &la.all_levels(), 0.05));
+        }
+        "carried" => {
+            print!("{}", format_carried_misses(program, &la.all_levels(), 0.01));
+        }
+        "frag" => {
+            print!("{}", format_fragmentation(program, metrics("L3")?, 10));
+        }
+        "patterns" => {
+            print!("{}", format_pattern_db(program, metrics(level)?, 25));
+        }
+        "patterns-csv" => {
+            print!(
+                "{}",
+                reuselens::metrics::format_pattern_csv(program, metrics(level)?)
+            );
+        }
+        "advice" => {
+            let recs = Advisor::new(program)
+                .with_time_loops(detect_time_loops(program))
+                .advise(metrics(level)?);
+            if recs.is_empty() {
+                println!("no significant reuse patterns at {level}");
+            }
+            for (i, r) in recs.iter().take(10).enumerate() {
+                println!(
+                    "{:>2}. [{:>10.0} misses] {}",
+                    i + 1,
+                    r.misses,
+                    describe(&r.transformation, program)
+                );
+                println!("      because: {}", r.rationale);
+            }
+        }
+        "xml" => {
+            print!("{}", to_xml(program, la));
+        }
+        other => {
+            if let Some(array_name) = other.strip_prefix("breakdown=") {
+                let array = program
+                    .array_by_name(array_name)
+                    .ok_or_else(|| format!("no array named '{array_name}'"))?;
+                print!("{}", format_array_breakdown(program, metrics(level)?, array));
+            } else {
+                return Err(format!("unknown report '{other}'"));
+            }
+        }
+    }
+    Ok(())
+}

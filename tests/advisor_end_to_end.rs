@@ -1,0 +1,117 @@
+//! The advisor on the real workloads: its recommendations must point at
+//! the transformations the paper actually applied.
+
+use reuselens::advisor::{detect_time_loops, Advisor, Transformation};
+use reuselens::cache::MemoryHierarchy;
+use reuselens::metrics::run_locality_analysis;
+use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
+use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
+
+#[test]
+fn gtc_advice_includes_split_array_for_zion() {
+    let w = build_gtc(&GtcConfig::new(512, 16));
+    let la = run_locality_analysis(
+        &w.program,
+        &MemoryHierarchy::itanium2_scaled(16),
+        w.index_arrays.clone(),
+    )
+    .unwrap();
+    let recs = Advisor::new(&w.program)
+        .with_time_loops(detect_time_loops(&w.program))
+        .advise(la.level("L3").unwrap());
+    let zion = w.program.array_by_name("zion").unwrap();
+    assert!(
+        recs.iter()
+            .any(|r| r.transformation == Transformation::SplitArray { array: zion }),
+        "expected zion split-array advice; got {:#?}",
+        recs.iter().map(|r| &r.transformation).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn gtc_advice_flags_time_loop_reuse_as_intrinsic() {
+    let w = build_gtc(&GtcConfig::new(512, 16).with_timesteps(2));
+    let la = run_locality_analysis(
+        &w.program,
+        &MemoryHierarchy::itanium2_scaled(16),
+        w.index_arrays.clone(),
+    )
+    .unwrap();
+    let istep = w.program.scope_by_name("istep").unwrap();
+    let irk = w.program.scope_by_name("irk").unwrap();
+    let recs = Advisor::new(&w.program)
+        .with_time_loops([istep, irk])
+        .advise(la.level("L3").unwrap());
+    // Paper: "these cache misses cannot be eliminated by time skewing or
+    // pipelining of the three sub-steps" — the advisor flags them so
+    // tuning effort goes elsewhere.
+    assert!(recs.iter().any(|r| matches!(
+        r.transformation,
+        Transformation::TimeSkewingOrAccept { carrier } if carrier == istep || carrier == irk
+    )));
+}
+
+#[test]
+fn gtc_advice_includes_cross_routine_strip_mine_for_pushi() {
+    let w = build_gtc(&GtcConfig::new(512, 16));
+    let la = run_locality_analysis(
+        &w.program,
+        &MemoryHierarchy::itanium2_scaled(16),
+        w.index_arrays.clone(),
+    )
+    .unwrap();
+    let recs = Advisor::new(&w.program).advise(la.level("L3").unwrap());
+    // The workp/zion reuse between pushi's loops and gcmotion spans two
+    // routines: the paper strip-mines both and promotes the strip loop.
+    assert!(
+        recs.iter()
+            .any(|r| matches!(r.transformation, Transformation::StripMineAndPromote { .. })),
+        "expected strip-mine advice; got {:#?}",
+        recs.iter().map(|r| &r.transformation).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sweep3d_advice_targets_the_idiag_loop() {
+    let w = build_sweep(&SweepConfig::new(16));
+    let la = run_locality_analysis(
+        &w.program,
+        &MemoryHierarchy::itanium2_scaled(16),
+        w.index_arrays.clone(),
+    )
+    .unwrap();
+    let recs = Advisor::new(&w.program).advise(la.level("L2").unwrap());
+    let idiag = w.program.scope_by_name("idiag").unwrap();
+    // The dominant recommendations must name idiag as the loop to attack
+    // (the paper blocks inside it — our wavefront re-traversal classifies
+    // as blocking/interchange on the idiag carrier).
+    let top: Vec<_> = recs.iter().take(4).collect();
+    assert!(
+        top.iter().any(|r| matches!(
+            r.transformation,
+            Transformation::LoopBlocking { carrier } | Transformation::LoopInterchange { carrier }
+                if carrier == idiag
+        )),
+        "expected idiag-targeted advice; got {top:#?}"
+    );
+}
+
+#[test]
+fn recommendations_are_ranked_by_miss_weight() {
+    let w = build_gtc(&GtcConfig::new(256, 8));
+    let la = run_locality_analysis(
+        &w.program,
+        &MemoryHierarchy::itanium2_scaled(16),
+        w.index_arrays.clone(),
+    )
+    .unwrap();
+    let recs = Advisor::new(&w.program).advise(la.level("L2").unwrap());
+    assert!(!recs.is_empty());
+    for pair in recs.windows(2) {
+        assert!(pair[0].misses >= pair[1].misses);
+    }
+    // Every recommendation explains itself.
+    for r in &recs {
+        assert!(!r.rationale.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Smoke tests for the `reuselens` command-line tool.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_reuselens"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("sweep3d"));
+    assert!(stdout.contains("gtc"));
+}
+
+#[test]
+fn missing_workload_fails_with_usage() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("missing workload"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_report_fails() {
+    let (_, stderr, ok) = run(&["kernel", "fig2", "--report", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown report"));
+}
+
+#[test]
+fn sweep3d_summary_reports_levels() {
+    let (stdout, _, ok) = run(&["sweep3d", "--mesh", "8", "--report", "summary"]);
+    assert!(ok);
+    assert!(stdout.contains("L2"));
+    assert!(stdout.contains("TLB"));
+    assert!(stdout.contains("cycles"));
+    assert!(stdout.contains("carried misses by scope"));
+}
+
+#[test]
+fn sweep3d_advice_names_idiag() {
+    let (stdout, _, ok) = run(&["sweep3d", "--mesh", "10", "--report", "advice"]);
+    assert!(ok);
+    assert!(stdout.contains("idiag"), "advice should target idiag:\n{stdout}");
+}
+
+#[test]
+fn gtc_frag_report_ranks_zion() {
+    let (stdout, _, ok) = run(&[
+        "gtc", "--mgrid", "256", "--micell", "8", "--report", "frag",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("zion"));
+}
+
+#[test]
+fn gtc_breakdown_report_for_named_array() {
+    let (stdout, _, ok) = run(&[
+        "gtc",
+        "--mgrid",
+        "128",
+        "--micell",
+        "4",
+        "--report",
+        "breakdown=zion",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("carrying scope"));
+}
+
+#[test]
+fn kernel_xml_report_is_wellformed_prefix() {
+    let (stdout, _, ok) = run(&["kernel", "stream", "--report", "xml"]);
+    assert!(ok);
+    assert!(stdout.starts_with("<?xml version=\"1.0\"?>"));
+    assert!(stdout.trim_end().ends_with("</LocalityDatabase>"));
+}
+
+#[test]
+fn kernel_spatial_report_shows_utilization() {
+    let (stdout, _, ok) = run(&["kernel", "fig2", "--report", "spatial"]);
+    assert!(ok);
+    assert!(stdout.contains("utilization"));
+}
+
+#[test]
+fn gtc_variant_flag_changes_results() {
+    let (orig, _, ok1) = run(&[
+        "gtc", "--mgrid", "128", "--micell", "8", "--report", "summary",
+    ]);
+    let (tuned, _, ok2) = run(&[
+        "gtc", "--mgrid", "128", "--micell", "8", "--variant", "6", "--report", "summary",
+    ]);
+    assert!(ok1 && ok2);
+    assert_ne!(orig, tuned);
+}
+
+#[test]
+fn bad_variant_is_rejected() {
+    let (_, stderr, ok) = run(&["gtc", "--variant", "7"]);
+    assert!(!ok);
+    assert!(stderr.contains("--variant must be 0..=6"));
+}
+
+#[test]
+fn save_and_predict_workflow() {
+    let dir = std::env::temp_dir().join("reuselens-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for mesh in [8, 10, 12] {
+        let path = dir.join(format!("m{mesh}.rlp"));
+        let (_, _, ok) = run(&[
+            "sweep3d",
+            "--mesh",
+            &mesh.to_string(),
+            "--save-profile",
+            path.to_str().unwrap(),
+        ]);
+        assert!(ok, "saving mesh {mesh} profile failed");
+        assert!(path.exists());
+    }
+    let files: Vec<String> = [8, 10, 12]
+        .iter()
+        .map(|m| dir.join(format!("m{m}.rlp")).to_str().unwrap().to_string())
+        .collect();
+    let mut args = vec!["predict", "--at", "16"];
+    args.extend(files.iter().map(String::as_str));
+    let (stdout, _, ok) = run(&args);
+    assert!(ok, "predict failed");
+    assert!(stdout.contains("predicted L2 misses at size 16"));
+    // The prediction must be in the right ballpark of a real mesh-16 run
+    // (loose: the training range 8-12 is deliberately small).
+    let predicted: f64 = stdout
+        .lines()
+        .find(|l| l.contains("predicted"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|t| t.parse().ok())
+        .unwrap();
+    assert!(
+        predicted > 10_000.0 && predicted < 60_000.0,
+        "prediction {predicted} out of band"
+    );
+}
+
+#[test]
+fn predict_rejects_too_few_profiles() {
+    let (_, stderr, ok) = run(&["predict", "--at", "16"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least two saved profiles"));
+}
+
+#[test]
+fn curve_report_is_monotone_csv() {
+    let (stdout, _, ok) = run(&["kernel", "stream", "--report", "curve"]);
+    assert!(ok);
+    let mut last = f64::INFINITY;
+    let mut rows = 0;
+    for line in stdout.lines().skip(1) {
+        let misses: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+        assert!(misses <= last);
+        last = misses;
+        rows += 1;
+    }
+    assert!(rows > 10);
+}
+
+#[test]
+fn program_report_prints_source_like_text() {
+    let (stdout, _, ok) = run(&["kernel", "fig2", "--report", "program"]);
+    assert!(ok);
+    assert!(stdout.contains("program fig2"));
+    assert!(stdout.contains("do j ="));
+    assert!(stdout.contains("store"));
+}
+
+#[test]
+fn contexts_report_names_call_paths() {
+    let (stdout, _, ok) = run(&[
+        "gtc", "--mgrid", "128", "--micell", "4", "--report", "contexts",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("main -> "));
+    assert!(stdout.contains("calling context"));
+}
+
+#[test]
+fn patterns_csv_report_is_csv() {
+    let (stdout, _, ok) = run(&["kernel", "fig2", "--report", "patterns-csv"]);
+    assert!(ok);
+    assert!(stdout.starts_with("sink,array,"));
+    assert!(stdout.lines().count() > 2);
+}

@@ -1,0 +1,96 @@
+//! Report-writer integration: the XML database and the text tables must
+//! survive a real multi-routine workload.
+
+use reuselens::cache::MemoryHierarchy;
+use reuselens::metrics::{
+    format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
+    format_summary, run_locality_analysis, to_xml,
+};
+use reuselens::workloads::gtc::{build, GtcConfig};
+
+fn analysis() -> (reuselens::ir::Program, reuselens::metrics::LocalityAnalysis) {
+    let w = build(&GtcConfig::new(256, 8));
+    let la = run_locality_analysis(
+        &w.program,
+        &MemoryHierarchy::itanium2_scaled(16),
+        w.index_arrays.clone(),
+    )
+    .unwrap();
+    (w.program, la)
+}
+
+#[test]
+fn xml_database_is_balanced_and_complete() {
+    let (prog, la) = analysis();
+    let xml = to_xml(&prog, &la);
+    assert!(xml.starts_with("<?xml version=\"1.0\"?>"));
+    assert!(xml.ends_with("</LocalityDatabase>\n"));
+    // Every routine appears.
+    for rtn in prog.routines() {
+        assert!(
+            xml.contains(&format!("name=\"{}\"", rtn.name())),
+            "routine {} missing from XML",
+            rtn.name()
+        );
+    }
+    // Every array appears in the array table.
+    for a in prog.arrays() {
+        assert!(xml.contains(&format!("<Array name=\"{}\"", a.name())));
+    }
+    // Scope tags balance.
+    for tag in ["ProgramScope", "RoutineScope", "LoopScope"] {
+        let opens = xml.matches(&format!("<{tag}")).count();
+        let self_closed = xml
+            .lines()
+            .filter(|l| {
+                l.trim_start().starts_with(&format!("<{tag}")) && l.trim_end().ends_with("/>")
+            })
+            .count();
+        let closes = xml.matches(&format!("</{tag}>")).count();
+        assert_eq!(opens, self_closed + closes, "unbalanced {tag}");
+    }
+    // Metric table lists 3 metrics per level (L2, L3, TLB).
+    assert_eq!(xml.matches("<Metric id=").count(), 9);
+}
+
+#[test]
+fn text_tables_mention_the_principal_entities() {
+    let (prog, la) = analysis();
+    let levels = la.all_levels();
+    let carried = format_carried_misses(&prog, &levels, 0.02);
+    assert!(carried.contains("pushi"));
+    let frag = format_fragmentation(&prog, la.level("L3").unwrap(), 5);
+    assert!(frag.contains("zion"));
+    let db = format_pattern_db(&prog, la.level("L2").unwrap(), 20);
+    assert!(db.contains("zion") || db.contains("workp"));
+    let breakdown = format_array_breakdown(
+        &prog,
+        la.level("L2").unwrap(),
+        prog.array_by_name("zion").unwrap(),
+    );
+    assert!(breakdown.contains("zion"));
+    let summary = format_summary(&la);
+    assert!(summary.contains("L2") && summary.contains("L3") && summary.contains("TLB"));
+    assert!(summary.contains("cycles"));
+}
+
+#[test]
+fn totals_are_consistent_across_views() {
+    let (_prog, la) = analysis();
+    for m in la.all_levels() {
+        // by-array totals == total misses
+        let sum: f64 = m.by_array.iter().sum();
+        assert!(
+            (sum - m.total_misses).abs() < 1e-6 * m.total_misses.max(1.0),
+            "{}: per-array sum {sum} != total {}",
+            m.level,
+            m.total_misses
+        );
+        // carried misses never exceed non-cold misses
+        let carried: f64 = m.carried.iter().sum();
+        assert!(carried <= m.total_misses - m.cold_misses as f64 + 1e-6);
+        // root-inclusive == total
+        let root_inclusive = m.inclusive[0];
+        assert!((root_inclusive - m.total_misses).abs() < 1e-6 * m.total_misses.max(1.0));
+    }
+}
