@@ -3,7 +3,8 @@
 //! (order-statistic tree, hierarchical block table).
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reuselens_bench::harness::{BenchmarkId, Criterion, Throughput};
+use reuselens_bench::{criterion_group, criterion_main};
 use reuselens::core::{BlockTable, OrderStatTree, ReuseAnalyzer};
 use reuselens::ir::{AccessKind, RefId};
 use reuselens::trace::{Executor, NullSink, TraceSink};
@@ -79,6 +80,21 @@ fn bench_ostree(c: &mut Criterion) {
                     acc += t.count_greater(k);
                     t.remove(k);
                     t.insert(n + k);
+                }
+                acc
+            })
+        });
+        // The same churn through the fused reinsert (the analyzer's path).
+        g.bench_with_input(BenchmarkId::new("churn_fused", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = OrderStatTree::with_capacity(n as usize);
+                for k in 0..n {
+                    t.insert(k);
+                }
+                let mut acc = 0u64;
+                for k in 0..n {
+                    acc += t.count_greater(k);
+                    t.reinsert(k, n + k);
                 }
                 acc
             })

@@ -3,7 +3,8 @@
 //! trace.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reuselens_bench::harness::{Criterion, Throughput};
+use reuselens_bench::{criterion_group, criterion_main};
 use reuselens::cache::{predict_level, CacheSim, MemoryHierarchy};
 use reuselens::core::analyze_program;
 use reuselens::trace::Executor;

@@ -2,7 +2,8 @@
 //! grouping, and fragmentation factors over real workload programs.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reuselens_bench::harness::{Criterion, Throughput};
+use reuselens_bench::{criterion_group, criterion_main};
 use reuselens::statics::{compute_formulas, StaticAnalysis};
 use reuselens::trace::{Executor, NullSink};
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};

@@ -3,7 +3,8 @@
 //! + attribution) on the two paper workloads.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reuselens_bench::harness::{Criterion, Throughput};
+use reuselens_bench::{criterion_group, criterion_main};
 use reuselens::cache::MemoryHierarchy;
 use reuselens::metrics::run_locality_analysis;
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};

@@ -1,8 +1,7 @@
 //! Reproduces the paper's Table I: builds one program per scenario row and
 //! shows that the advisor recommends the table's transformation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use reuselens_prng::SplitMix64;
 use reuselens::advisor::{Advisor, Transformation};
 use reuselens::ir::{Expr, Program, ProgramBuilder};
 use reuselens::metrics::run_locality_analysis;
@@ -32,7 +31,7 @@ fn scenario_irregular() -> (Program, Vec<(reuselens::ir::ArrayId, Vec<i64>)>) {
             r.load(table, vec![Expr::load(ix, vec![i.into()])]);
         });
     });
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::seed_from_u64(7);
     let idx = (0..particles).map(|_| rng.gen_range(0..grid) as i64).collect();
     (p.finish(), vec![(ix, idx)])
 }

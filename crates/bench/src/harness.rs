@@ -1,0 +1,328 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped
+//! API.
+//!
+//! The build environment is fully offline, so the benches cannot pull the
+//! real `criterion` crate. This module implements the subset the benches
+//! use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput::Elements`, `b.iter(..)`, and the `criterion_group!` /
+//! `criterion_main!` macros — over plain `std::time::Instant` sampling:
+//! a warm-up phase calibrates iterations per sample, then `sample_size`
+//! samples are timed and the median per-iteration time (and derived
+//! throughput) is reported.
+//!
+//! A positional command-line argument acts as a substring filter on
+//! `group/name` ids, mirroring `cargo bench -- <filter>`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point object handed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // First non-flag argument filters benchmark ids by substring
+        // (cargo itself passes flags like `--bench`; skip those).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements (events, accesses, references) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark id: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the elapsed time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of benchmarks sharing warm-up/measurement configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the calibration warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting; applies
+    /// to subsequently registered benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Registers and runs a benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        self.run(&id, f);
+        self
+    }
+
+    /// Registers and runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.c.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up and calibrate: grow the iteration count until one batch
+        // is long enough to time reliably, for at least `warm_up` total.
+        let warm_start = Instant::now();
+        let mut iters = 1u64;
+        let mut per_iter;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            if warm_start.elapsed() >= self.warm_up && b.elapsed >= Duration::from_millis(1) {
+                break;
+            }
+            if b.elapsed < Duration::from_millis(1) {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        // Size each sample so all samples fit the measurement budget.
+        let budget = self.measurement.as_nanos() / self.samples as u128;
+        let sample_iters =
+            (budget / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters: sample_iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed / sample_iters as u32
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let (lo, hi) = (times[0], times[times.len() - 1]);
+        let mut line = format!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+        if let Some(t) = self.throughput {
+            let secs = median.as_secs_f64();
+            let rate = match t {
+                Throughput::Elements(n) => format!("{} elem/s", fmt_rate(n as f64 / secs)),
+                Throughput::Bytes(n) => format!("{}B/s", fmt_rate(n as f64 / secs)),
+            };
+            line.push_str(&format!("  thrpt: {rate}"));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Collects bench functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_quickly() {
+        let c = Criterion { filter: None };
+        let mut g = BenchmarkGroup {
+            c: &c,
+            name: "t".into(),
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            samples: 3,
+            throughput: None,
+        };
+        let mut ran = false;
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut g = BenchmarkGroup {
+            c: &c,
+            name: "t".into(),
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            samples: 2,
+            throughput: None,
+        };
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(fmt_time(Duration::from_micros(1500)), "1.50 ms");
+        assert!(fmt_rate(2.5e6).starts_with("2.50 M"));
+        let id = BenchmarkId::new("f", 64);
+        assert_eq!(id.id, "f/64");
+    }
+}

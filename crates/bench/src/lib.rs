@@ -7,6 +7,8 @@
 //! every crossover the figures show. Set `REPRO_SCALE=1` and grow the
 //! sizes for a full-scale run.
 
+pub mod harness;
+
 use reuselens::cache::MemoryHierarchy;
 
 /// The hierarchy every repro binary predicts for: Itanium2 divided by

@@ -1,12 +1,18 @@
 //! One-call evaluation: run a program, predict misses at every hierarchy
 //! level, and model run time.
+//!
+//! Because predictions are pure functions of immutable reuse profiles, a
+//! whole design-space sweep ([`evaluate_sweep`]) can score every candidate
+//! hierarchy concurrently from one measured analysis — the payoff of the
+//! capture-once / replay-many pipeline.
 
 use crate::config::MemoryHierarchy;
 use crate::model::{predict_level, LevelPrediction};
 use crate::timing::{predict_cycles, TimingBreakdown};
-use reuselens_core::{analyze_program, AnalysisResult};
+use reuselens_core::{analyze_program, analyze_program_parallel, AnalysisResult};
 use reuselens_ir::{ArrayId, Program};
 use reuselens_trace::ExecError;
+use std::time::{Duration, Instant};
 
 /// Predicted behaviour of one program run on one memory hierarchy.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +118,77 @@ pub fn report_from_analysis(
     }
 }
 
+/// Wall time one hierarchy's prediction thread took in a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// Name of the hierarchy this thread scored.
+    pub hierarchy: String,
+    /// Time spent computing its per-level predictions.
+    pub wall: Duration,
+}
+
+/// Scores one measured analysis against many candidate hierarchies, one
+/// thread per hierarchy. The profiles are shared immutably, so the
+/// predictions are independent and the reports come back in request order
+/// together with per-thread timings.
+///
+/// # Panics
+///
+/// Panics if the analysis lacks a profile at a granularity some hierarchy
+/// requires (measure the union of
+/// [`required_granularities`](MemoryHierarchy::required_granularities)
+/// up front).
+pub fn evaluate_sweep(
+    analysis: &AnalysisResult,
+    hierarchies: &[MemoryHierarchy],
+) -> (Vec<HierarchyReport>, Vec<SweepTiming>) {
+    let outcomes = std::thread::scope(|s| {
+        let handles: Vec<_> = hierarchies
+            .iter()
+            .map(|h| {
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let report = report_from_analysis(analysis, h);
+                    let timing = SweepTiming {
+                        hierarchy: h.name.clone(),
+                        wall: start.elapsed(),
+                    };
+                    (report, timing)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    outcomes.into_iter().unzip()
+}
+
+/// The full capture-once pipeline: interprets `program` a single time,
+/// replays the captured trace concurrently at the union of granularities
+/// the candidate hierarchies need, then scores every hierarchy on its own
+/// thread. Reports come back in hierarchy order.
+///
+/// # Errors
+///
+/// Propagates executor errors from the capture run.
+pub fn evaluate_program_sweep(
+    program: &Program,
+    hierarchies: &[MemoryHierarchy],
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+) -> Result<(Vec<HierarchyReport>, AnalysisResult), ExecError> {
+    let mut grains: Vec<u64> = hierarchies
+        .iter()
+        .flat_map(MemoryHierarchy::required_granularities)
+        .collect();
+    grains.sort_unstable();
+    grains.dedup();
+    let (analysis, _stats) = analyze_program_parallel(program, &grains, index_arrays)?;
+    let (reports, _timings) = evaluate_sweep(&analysis, hierarchies);
+    Ok((reports, analysis))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +234,28 @@ mod tests {
         // Timing reflects the stalls.
         assert!(report.timing.total() > report.timing.non_stall);
         assert!(analysis.profile_at(128).is_some());
+    }
+
+    /// A parallel sweep over scaled hierarchies matches evaluating each
+    /// hierarchy sequentially, report for report.
+    #[test]
+    fn sweep_matches_sequential_evaluation() {
+        let prog = streaming_program(1 << 14, 3);
+        let hierarchies: Vec<MemoryHierarchy> =
+            [1u64, 2, 4, 8].map(MemoryHierarchy::itanium2_scaled).into();
+        let (reports, analysis) =
+            evaluate_program_sweep(&prog, &hierarchies, vec![]).unwrap();
+        assert_eq!(reports.len(), hierarchies.len());
+        for (got, h) in reports.iter().zip(&hierarchies) {
+            let want = report_from_analysis(&analysis, h);
+            assert_eq!(got, &want);
+        }
+        // Timings are observable and labeled in request order.
+        let (again, timings) = evaluate_sweep(&analysis, &hierarchies);
+        assert_eq!(again, reports);
+        let names: Vec<&str> = timings.iter().map(|t| t.hierarchy.as_str()).collect();
+        let want_names: Vec<&str> =
+            hierarchies.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, want_names);
     }
 }

@@ -26,7 +26,10 @@ mod threec;
 mod timing;
 
 pub use config::{Assoc, CacheConfig, MemoryHierarchy};
-pub use evaluate::{evaluate_program, report_from_analysis, HierarchyReport};
+pub use evaluate::{
+    evaluate_program, evaluate_program_sweep, evaluate_sweep, report_from_analysis,
+    HierarchyReport, SweepTiming,
+};
 pub use model::{miss_curve, miss_probability, predict_level, LevelPrediction};
 pub use simulator::{CacheSim, HierarchySim, Replacement};
 pub use threec::{MissBreakdown, ThreeCSim};

@@ -185,7 +185,7 @@ impl TraceSink for HierarchySim {
 mod tests {
     use super::*;
     use crate::config::{Assoc, MemoryHierarchy};
-    use proptest::prelude::*;
+    use reuselens_prng::SplitMix64;
     use reuselens_core::oracle;
 
     #[test]
@@ -211,12 +211,13 @@ mod tests {
         assert_eq!(sim.misses(), 2); // only cold
     }
 
-    proptest! {
-        #[test]
-        fn fully_associative_sim_matches_oracle(
-            addrs in proptest::collection::vec(0u64..8192, 1..300),
-            cap_blocks in 1u64..32,
-        ) {
+    /// Seeded randomized differential test against the brute-force oracle.
+    #[test]
+    fn fully_associative_sim_matches_oracle() {
+        let mut rng = SplitMix64::seed_from_u64(0x51_0acb);
+        for _case in 0..64 {
+            let addrs = rng.vec_u64(1..300, 0..8192);
+            let cap_blocks = rng.gen_range(1..32);
             let cfg = CacheConfig::new("fa", cap_blocks * 64, 64, Assoc::Full);
             let mut sim = CacheSim::new(&cfg, 1);
             for &a in &addrs {
@@ -224,7 +225,7 @@ mod tests {
             }
             let expected =
                 oracle::fully_associative_misses(&addrs, 64, cap_blocks as usize);
-            prop_assert_eq!(sim.misses(), expected);
+            assert_eq!(sim.misses(), expected);
         }
     }
 

@@ -1,10 +1,22 @@
 //! One-call program analysis: execute a program once, measure reuse at
 //! several granularities.
+//!
+//! Two pipelines produce bit-identical profiles:
+//!
+//! * **Online** ([`analyze_program`]) — every grain's analyzer observes the
+//!   event stream while the program is interpreted, as the paper's
+//!   instrumented binaries do.
+//! * **Capture + replay** ([`analyze_program_parallel`]) — the program is
+//!   interpreted exactly once into a compact [`TraceBuffer`]; each grain
+//!   then replays the buffer on its own thread. Decoding the buffer is far
+//!   cheaper than re-interpreting the program, and the per-grain analyzers
+//!   share nothing, so the replays are embarrassingly parallel.
 
-use crate::analyzer::MultiGrainAnalyzer;
+use crate::analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
 use crate::patterns::ReuseProfile;
 use reuselens_ir::{ArrayId, Program};
-use reuselens_trace::{ExecError, ExecReport, Executor};
+use reuselens_trace::{BufferStats, ExecError, ExecReport, Executor, TraceBuffer};
+use std::time::{Duration, Instant};
 
 /// The result of [`analyze_program`]: reuse profiles (one per granularity,
 /// in request order) plus the executor's dynamic statistics (loop trip
@@ -71,6 +83,131 @@ pub fn analyze_program(
     })
 }
 
+/// Wall-clock and buffer statistics from a capture + parallel-replay run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisStats {
+    /// Time to interpret the program once into the trace buffer.
+    pub capture_wall: Duration,
+    /// Size and compression statistics of the captured buffer.
+    pub buffer: BufferStats,
+    /// Per-grain replay wall time, in request order. Each entry is the time
+    /// the grain's own thread spent decoding the buffer and updating its
+    /// analyzer; the slowest entry bounds the parallel phase.
+    pub replays: Vec<ReplayTiming>,
+}
+
+/// Wall time one grain's replay thread took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayTiming {
+    /// The grain (block size in bytes) this thread analyzed.
+    pub block_size: u64,
+    /// Time spent replaying the buffer through that grain's analyzer.
+    pub wall: Duration,
+}
+
+/// Interprets `program` exactly once and returns the captured trace plus
+/// the executor's report. The buffer can then be replayed any number of
+/// times — per grain, per experiment — without re-interpreting.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from the executor.
+pub fn capture_program(
+    program: &Program,
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+) -> Result<(TraceBuffer, ExecReport), ExecError> {
+    let mut buffer = TraceBuffer::new();
+    let mut exec = Executor::new(program);
+    for (arr, data) in index_arrays {
+        exec.set_index_array(arr, data);
+    }
+    let report = exec.run(&mut buffer)?;
+    Ok((buffer, report))
+}
+
+/// Replays a captured buffer through one fresh [`ReuseAnalyzer`] per block
+/// size, each on its own thread, and returns the profiles in request order
+/// together with per-thread timings.
+pub fn analyze_buffer(
+    program: &Program,
+    buffer: &TraceBuffer,
+    block_sizes: &[u64],
+) -> (Vec<ReuseProfile>, Vec<ReplayTiming>) {
+    let outcomes = std::thread::scope(|s| {
+        let handles: Vec<_> = block_sizes
+            .iter()
+            .map(|&block_size| {
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut analyzer = ReuseAnalyzer::new(program, block_size);
+                    buffer.replay(&mut analyzer);
+                    let wall = start.elapsed();
+                    (analyzer.finish(), ReplayTiming { block_size, wall })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    outcomes.into_iter().unzip()
+}
+
+/// Capture-once / replay-many variant of [`analyze_program`]: interprets
+/// the program a single time into a [`TraceBuffer`], then replays it
+/// concurrently — one thread per requested block size. Produces profiles
+/// bit-identical to the online pipeline, plus timing and buffer statistics.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from the capture run.
+///
+/// # Examples
+///
+/// ```
+/// use reuselens_core::{analyze_program, analyze_program_parallel};
+/// use reuselens_ir::ProgramBuilder;
+///
+/// let mut p = ProgramBuilder::new("demo");
+/// let a = p.array("a", 8, &[256]);
+/// p.routine("main", |r| {
+///     r.for_("t", 0, 2, |r, _| {
+///         r.for_("i", 0, 255, |r, i| {
+///             r.load(a, vec![i.into()]);
+///         });
+///     });
+/// });
+/// let prog = p.finish();
+/// let (par, stats) = analyze_program_parallel(&prog, &[64, 4096], vec![])?;
+/// let online = analyze_program(&prog, &[64, 4096], vec![])?;
+/// assert_eq!(par.profiles, online.profiles);
+/// assert_eq!(stats.replays.len(), 2);
+/// assert!(stats.buffer.encoded_bytes < stats.buffer.raw_bytes);
+/// # Ok::<(), reuselens_trace::ExecError>(())
+/// ```
+pub fn analyze_program_parallel(
+    program: &Program,
+    block_sizes: &[u64],
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+) -> Result<(AnalysisResult, AnalysisStats), ExecError> {
+    let start = Instant::now();
+    let (buffer, report) = capture_program(program, index_arrays)?;
+    let capture_wall = start.elapsed();
+    let (profiles, replays) = analyze_buffer(program, &buffer, block_sizes);
+    Ok((
+        AnalysisResult {
+            profiles,
+            exec: report,
+        },
+        AnalysisStats {
+            capture_wall,
+            buffer: buffer.stats(),
+            replays,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +229,74 @@ mod tests {
         assert_eq!(result.profiles[0].total_accesses, 8);
         assert!(result.profile_at(64).is_some());
         assert!(result.profile_at(128).is_none());
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_online_bit_for_bit() {
+        let mut p = ProgramBuilder::new("tiled");
+        let a = p.array("a", 8, &[64, 64]);
+        let b = p.array("b", 8, &[64, 64]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 1, |r, _| {
+                r.for_("j", 0, 63, |r, j| {
+                    r.for_("i", 0, 63, |r, i| {
+                        r.load(a, vec![i.into(), j.into()]);
+                        r.store(b, vec![j.into(), i.into()]);
+                    });
+                });
+            });
+        });
+        let prog = p.finish();
+        let grains = [64u64, 256, 4096];
+        let online = analyze_program(&prog, &grains, vec![]).unwrap();
+        let (par, stats) = analyze_program_parallel(&prog, &grains, vec![]).unwrap();
+        assert_eq!(online.profiles, par.profiles);
+        assert_eq!(online.exec, par.exec);
+        assert_eq!(stats.replays.len(), grains.len());
+        for (timing, &g) in stats.replays.iter().zip(&grains) {
+            assert_eq!(timing.block_size, g);
+        }
+        assert_eq!(stats.buffer.accesses, online.exec.accesses);
+        assert!(stats.buffer.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn parallel_pipeline_with_index_arrays() {
+        let mut p = ProgramBuilder::new("gather");
+        let ix = p.index_array("ix", &[32]);
+        let a = p.array("a", 8, &[512]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 3, |r, _| {
+                r.for_("i", 0, 31, |r, i| {
+                    r.load(a, vec![Expr::load(ix, vec![i.into()])]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let idx: Vec<i64> = (0..32).map(|i| (i * 37) % 512).collect();
+        let online = analyze_program(&prog, &[64], vec![(ix, idx.clone())]).unwrap();
+        let (par, _) = analyze_program_parallel(&prog, &[64], vec![(ix, idx)]).unwrap();
+        assert_eq!(online.profiles, par.profiles);
+    }
+
+    #[test]
+    fn capture_then_replay_by_hand_matches_multigrain() {
+        let mut p = ProgramBuilder::new("sweep");
+        let a = p.array("a", 8, &[2048]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 2, |r, _| {
+                r.for_("i", 0, 2047, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let (buffer, report) = capture_program(&prog, vec![]).unwrap();
+        assert_eq!(buffer.accesses(), report.accesses);
+        let (profiles, timings) = analyze_buffer(&prog, &buffer, &[64, 4096]);
+        let online = analyze_program(&prog, &[64, 4096], vec![]).unwrap();
+        assert_eq!(profiles, online.profiles);
+        assert_eq!(timings.len(), 2);
     }
 
     #[test]

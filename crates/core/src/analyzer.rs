@@ -14,19 +14,40 @@ use crate::ostree::OrderStatTree;
 use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
 use crate::scopestack::ScopeStack;
 use reuselens_ir::{AccessKind, Program, RefId, ScopeId};
-use reuselens_trace::TraceSink;
+use reuselens_trace::{AccessRecord, TraceSink};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Pattern count above which a sink switches from linear scan to a hash map.
+const SMALL_MAP_LIMIT: usize = 8;
 
 /// Per-sink pattern storage. The paper observes that each reference sees a
 /// small, fixed set of (source, carrier) combinations, so a short linear
-/// vector beats a hash map on the hot path.
+/// vector beats a hash map on the hot path. Pathological sinks (many
+/// carriers, e.g. deep non-perfect nests or indirection) would degrade the
+/// scan to O(patterns) per access, so past [`SMALL_MAP_LIMIT`] entries a
+/// hash index over the same vector takes over.
 #[derive(Debug, Default)]
 struct SinkPatterns {
     entries: Vec<(ScopeId, ScopeId, Histogram)>,
+    index: Option<HashMap<(ScopeId, ScopeId), usize>>,
 }
 
 impl SinkPatterns {
     #[inline]
     fn record(&mut self, source: ScopeId, carrier: ScopeId, distance: u64) {
+        if let Some(index) = &mut self.index {
+            match index.entry((source, carrier)) {
+                Entry::Occupied(e) => self.entries[*e.get()].2.add(distance),
+                Entry::Vacant(e) => {
+                    e.insert(self.entries.len());
+                    let mut h = Histogram::new();
+                    h.add(distance);
+                    self.entries.push((source, carrier, h));
+                }
+            }
+            return;
+        }
         for (s, c, h) in &mut self.entries {
             if *s == source && *c == carrier {
                 h.add(distance);
@@ -36,6 +57,15 @@ impl SinkPatterns {
         let mut h = Histogram::new();
         h.add(distance);
         self.entries.push((source, carrier, h));
+        if self.entries.len() > SMALL_MAP_LIMIT {
+            self.index = Some(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (s, c, _))| ((*s, *c), i))
+                    .collect(),
+            );
+        }
     }
 }
 
@@ -157,8 +187,10 @@ impl TraceSink for ReuseAnalyzer {
         match self.table.get(block) {
             Some(prev) => {
                 let distance = self.tree.count_greater(prev.time);
-                self.tree.remove(prev.time);
-                self.tree.insert(now);
+                // `now` is always the new maximum clock, so the fused
+                // reinsert re-keys on the tree's right spine instead of
+                // doing two full root-to-leaf passes.
+                self.tree.reinsert(prev.time, now);
                 let carrier = self.stack.carrier(prev.time);
                 let source = self.ref_scopes[prev.ref_id as usize];
                 self.per_sink[r.index()].record(source, carrier, distance);
@@ -220,6 +252,13 @@ impl TraceSink for MultiGrainAnalyzer {
     fn exit(&mut self, scope: ScopeId) {
         for a in &mut self.analyzers {
             a.exit(scope);
+        }
+    }
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        // Grain-major: each analyzer consumes the whole batch while its
+        // tables stay hot, instead of interleaving per event.
+        for a in &mut self.analyzers {
+            a.access_batch(batch);
         }
     }
 }
@@ -357,6 +396,63 @@ mod tests {
         assert_eq!(profiles[0].total_accesses, profiles[1].total_accesses);
         assert!(profiles[0].accesses_balance());
         assert!(profiles[1].accesses_balance());
+    }
+
+    /// Pathological many-carrier nest: one constant-index load at the
+    /// bottom of a 12-deep loop nest produces one reuse pattern per
+    /// ancestor loop, pushing a single sink past the small-map limit and
+    /// exercising the hash-index fallback in `SinkPatterns`.
+    #[test]
+    fn many_carrier_nest_overflows_small_map() {
+        const DEPTH: usize = 12;
+        fn nest(r: &mut reuselens_ir::BodyBuilder<'_>, depth: usize, a: reuselens_ir::ArrayId) {
+            if depth == 0 {
+                r.load(a, vec![Expr::c(0)]);
+            } else {
+                r.for_(&format!("L{depth}"), 0, 1, |r, _| nest(r, depth - 1, a));
+            }
+        }
+        let mut p = ProgramBuilder::new("deep");
+        let a = p.array("a", 8, &[4]);
+        p.routine("main", |r| nest(r, DEPTH, a));
+        let prog = p.finish();
+        let mut an = ReuseAnalyzer::new(&prog, 64);
+        Executor::new(&prog).run(&mut an).unwrap();
+        assert!(
+            an.per_sink[0].index.is_some(),
+            "a {DEPTH}-carrier sink must have switched to the hash index"
+        );
+        let profile = an.finish();
+        assert_eq!(profile.total_accesses, 1 << DEPTH);
+        assert!(profile.accesses_balance());
+        // One pattern per carrying loop: every ancestor carries the reuse
+        // that crosses its own iteration boundary.
+        assert_eq!(profile.patterns.len(), DEPTH);
+        assert_eq!(profile.cold.iter().sum::<u64>(), 1);
+    }
+
+    /// Records made before the overflow keep aggregating into the same
+    /// histograms after the hash index takes over.
+    #[test]
+    fn small_map_fallback_matches_linear_scan() {
+        let mut sp = SinkPatterns::default();
+        sp.record(ScopeId(1), ScopeId(10), 7);
+        assert!(sp.index.is_none());
+        // Push past the limit with fresh carriers.
+        for k in 0..SMALL_MAP_LIMIT as u32 {
+            sp.record(ScopeId(1), ScopeId(k + 11), 5);
+        }
+        assert!(sp.index.is_some());
+        // Hits on a pre-overflow pattern, a post-overflow pattern, and a
+        // brand-new one all land in the right histograms.
+        sp.record(ScopeId(1), ScopeId(10), 9);
+        sp.record(ScopeId(1), ScopeId(11), 5);
+        sp.record(ScopeId(2), ScopeId(10), 1);
+        assert_eq!(sp.entries.len(), SMALL_MAP_LIMIT + 2);
+        assert_eq!(sp.entries[0].2.total(), 2);
+        assert_eq!(sp.entries[1].2.total(), 2);
+        let total: u64 = sp.entries.iter().map(|(_, _, h)| h.total()).sum();
+        assert_eq!(total, SMALL_MAP_LIMIT as u64 + 4);
     }
 
     #[test]

@@ -133,7 +133,7 @@ fn split(block: u64) -> (usize, usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reuselens_prng::SplitMix64;
     use std::collections::HashMap;
 
     #[test]
@@ -177,20 +177,23 @@ mod tests {
         BlockTable::new().set(0, 0, 0);
     }
 
-    proptest! {
-        #[test]
-        fn matches_hashmap_reference(
-            ops in proptest::collection::vec((0u64..1 << 20, 1u64..1000, 0u32..16), 1..300)
-        ) {
+    /// Randomized differential test against `HashMap` (seeded, offline).
+    #[test]
+    fn matches_hashmap_reference() {
+        let mut rng = SplitMix64::seed_from_u64(0xb10c_7ab1e);
+        for _case in 0..64 {
             let mut t = BlockTable::new();
             let mut map: HashMap<u64, (u64, u32)> = HashMap::new();
-            for (block, time, rid) in ops {
+            for _ in 0..rng.gen_range(1..300) {
+                let block = rng.gen_range(0..1 << 20);
+                let time = rng.gen_range(1..1000);
+                let rid = rng.gen_range(0..16) as u32;
                 t.set(block, time, rid);
                 map.insert(block, (time, rid));
                 let got = t.get(block).unwrap();
-                prop_assert_eq!((got.time, got.ref_id), map[&block]);
+                assert_eq!((got.time, got.ref_id), map[&block]);
             }
-            prop_assert_eq!(t.distinct_blocks(), map.len() as u64);
+            assert_eq!(t.distinct_blocks(), map.len() as u64);
         }
     }
 }

@@ -239,7 +239,7 @@ impl FromIterator<u64> for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reuselens_prng::SplitMix64;
 
     #[test]
     fn small_distances_are_exact() {
@@ -263,24 +263,33 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn bin_of_is_consistent_with_range(d in 0u64..(1 << 40)) {
+    /// Seeded randomized checks replacing the former property tests.
+    #[test]
+    fn bin_of_is_consistent_with_range() {
+        let mut rng = SplitMix64::seed_from_u64(0x4151);
+        for _ in 0..4096 {
+            let d = rng.gen_range(0..1 << 40);
             let (lo, hi) = range_of(bin_of(d));
-            prop_assert!(lo <= d && d < hi);
+            assert!(lo <= d && d < hi, "d={d} lo={lo} hi={hi}");
         }
+    }
 
-        #[test]
-        fn relative_bin_width_is_bounded(d in LINEAR_LIMIT..(1 << 40)) {
+    #[test]
+    fn relative_bin_width_is_bounded() {
+        let mut rng = SplitMix64::seed_from_u64(0x4152);
+        for _ in 0..4096 {
+            let d = rng.gen_range(LINEAR_LIMIT..1 << 40);
             let (lo, hi) = range_of(bin_of(d));
-            prop_assert!(((hi - lo) as f64) <= lo as f64 / SUBBINS_PER_OCTAVE as f64 + 1.0);
+            assert!(((hi - lo) as f64) <= lo as f64 / SUBBINS_PER_OCTAVE as f64 + 1.0);
         }
+    }
 
-        #[test]
-        fn count_ge_matches_naive_within_bin_error(
-            mut ds in proptest::collection::vec(0u64..100_000, 1..200),
-            thr in 0u64..100_000,
-        ) {
+    #[test]
+    fn count_ge_matches_naive_within_bin_error() {
+        let mut rng = SplitMix64::seed_from_u64(0x4153);
+        for _case in 0..64 {
+            let mut ds = rng.vec_u64(1..200, 0..100_000);
+            let thr = rng.gen_range(0..100_000);
             let h: Histogram = ds.iter().copied().collect();
             ds.sort_unstable();
             let naive = ds.iter().filter(|&&d| d >= thr).count() as f64;
@@ -288,21 +297,23 @@ mod tests {
             // error bounded by the count in the straddling bin
             let (lo, hi) = range_of(bin_of(thr.min(99_999)));
             let straddle = ds.iter().filter(|&&d| d >= lo && d < hi).count() as f64;
-            prop_assert!((approx - naive).abs() <= straddle + 1e-9);
+            assert!((approx - naive).abs() <= straddle + 1e-9);
         }
+    }
 
-        #[test]
-        fn merge_preserves_totals(
-            a in proptest::collection::vec(0u64..1_000_000, 0..100),
-            b in proptest::collection::vec(0u64..1_000_000, 0..100),
-        ) {
+    #[test]
+    fn merge_preserves_totals() {
+        let mut rng = SplitMix64::seed_from_u64(0x4154);
+        for _case in 0..64 {
+            let a = rng.vec_u64(0..100, 0..1_000_000);
+            let b = rng.vec_u64(0..100, 0..1_000_000);
             let ha: Histogram = a.iter().copied().collect();
             let hb: Histogram = b.iter().copied().collect();
             let mut merged = ha.clone();
             merged.merge(&hb);
-            prop_assert_eq!(merged.total(), ha.total() + hb.total());
+            assert_eq!(merged.total(), ha.total() + hb.total());
             let all: Histogram = a.iter().chain(b.iter()).copied().collect();
-            prop_assert_eq!(merged, all);
+            assert_eq!(merged, all);
         }
     }
 

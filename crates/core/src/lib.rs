@@ -20,7 +20,10 @@
 //! * a [dynamic scope stack](ScopeStack) searched for the carrying scope;
 //! * per-pattern [histograms](Histogram) with logarithmic bins.
 //!
-//! Start with [`analyze_program`] for the one-call API, or drive a
+//! Start with [`analyze_program`] for the one-call API, or
+//! [`analyze_program_parallel`] to interpret the program once into a
+//! compact trace buffer and replay it concurrently — one thread per block
+//! granularity, with bit-identical profiles. Or drive a
 //! [`ReuseAnalyzer`] / [`MultiGrainAnalyzer`] through
 //! [`reuselens_trace::Executor`] yourself.
 
@@ -39,7 +42,10 @@ mod scopestack;
 mod serialize;
 mod spatial;
 
-pub use analyze::{analyze_program, AnalysisResult};
+pub use analyze::{
+    analyze_buffer, analyze_program, analyze_program_parallel, capture_program, AnalysisResult,
+    AnalysisStats, ReplayTiming,
+};
 pub use analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
 pub use blocktable::{BlockEntry, BlockTable, MAX_BLOCKS};
 pub use context::{ContextAnalyzer, ContextId, ContextProfile, CtxPattern, CtxPatternKey};

@@ -89,6 +89,59 @@ impl OrderStatTree {
         removed
     }
 
+    /// Removes `old` and inserts `new` in one traversal. Returns whether
+    /// `old` was present.
+    ///
+    /// This fuses the analyzer's per-access `remove(prev) + insert(now)`
+    /// pair. The analyzer's `now` is always the new maximum key, so both
+    /// root-to-leaf paths share the prefix of the right spine above `old`'s
+    /// position — and when `old` *is* the current maximum (the previous
+    /// access was the most recent one, the common case for spatial reuse
+    /// inside a block), the node is re-keyed in place with no rotation, no
+    /// free, and no allocation at all.
+    ///
+    /// The method is correct for arbitrary `old`/`new` (including
+    /// `old == new` and an absent `old`); only the fast paths assume the
+    /// analyzer's monotone-clock pattern.
+    pub fn reinsert(&mut self, old: u64, new: u64) -> bool {
+        let (root, removed) = self.reinsert_at(self.root, old, new);
+        self.root = root;
+        removed
+    }
+
+    fn reinsert_at(&mut self, n: u32, old: u64, new: u64) -> (u32, bool) {
+        if n == NIL {
+            // `old` is absent below an empty slot; just insert `new` here.
+            return (self.alloc(new), false);
+        }
+        let nk = self.nodes[n as usize].key;
+        if old > nk && new > nk {
+            // Both paths continue into the right subtree: fused descent.
+            let right = self.nodes[n as usize].right;
+            let (child, removed) = self.reinsert_at(right, old, new);
+            self.nodes[n as usize].right = child;
+            return (self.rebalance(n), removed);
+        }
+        if old == nk {
+            if new == old {
+                // Remove-then-insert of the same present key is a no-op.
+                return (n, true);
+            }
+            if new > nk && self.nodes[n as usize].right == NIL {
+                // `old` is the subtree maximum (every ancestor on the fused
+                // path was smaller): re-key in place.
+                self.nodes[n as usize].key = new;
+                return (n, true);
+            }
+        }
+        // Paths diverge: finish the removal within this subtree, then
+        // insert into the rebalanced result. Sequencing the two keeps the
+        // AVL invariant (each step changes subtree heights by at most one).
+        let (mid, removed) = self.remove_at(n, old);
+        let (root, _) = self.insert_at(mid, new);
+        (root, removed)
+    }
+
     /// Counts keys strictly greater than `key` (which need not be present).
     pub fn count_greater(&self, key: u64) -> u64 {
         let mut n = self.root;
@@ -309,7 +362,7 @@ impl OrderStatTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reuselens_prng::SplitMix64;
     use std::collections::BTreeSet;
 
     #[test]
@@ -368,29 +421,107 @@ mod tests {
         assert!(t.nodes.len() <= 220, "arena grew to {}", t.nodes.len());
     }
 
-    proptest! {
-        #[test]
-        fn matches_btreeset_reference(
-            ops in proptest::collection::vec((0u8..3, 0u64..500), 1..400)
-        ) {
+    /// Randomized differential test against `BTreeSet` (seeded, offline).
+    #[test]
+    fn matches_btreeset_reference() {
+        let mut rng = SplitMix64::seed_from_u64(0x0517_ee01);
+        for _case in 0..64 {
             let mut t = OrderStatTree::new();
             let mut set = BTreeSet::new();
-            for (op, key) in ops {
-                match op {
-                    0 => {
-                        prop_assert_eq!(t.insert(key), set.insert(key));
-                    }
-                    1 => {
-                        prop_assert_eq!(t.remove(key), set.remove(&key));
-                    }
+            let nops = rng.gen_range(1..400);
+            for _ in 0..nops {
+                let key = rng.gen_range(0..500);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(t.insert(key), set.insert(key)),
+                    1 => assert_eq!(t.remove(key), set.remove(&key)),
                     _ => {
                         let expected = set.range(key + 1..).count() as u64;
-                        prop_assert_eq!(t.count_greater(key), expected);
+                        assert_eq!(t.count_greater(key), expected);
                     }
                 }
-                prop_assert_eq!(t.len(), set.len());
+                assert_eq!(t.len(), set.len());
             }
             t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn reinsert_on_empty_tree_inserts_new() {
+        let mut t = OrderStatTree::new();
+        assert!(!t.reinsert(7, 9)); // old absent
+        assert!(t.contains(9));
+        assert!(!t.contains(7));
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn reinsert_single_node_rekeys_in_place() {
+        let mut t = OrderStatTree::new();
+        t.insert(5);
+        let arena_before = t.nodes.len();
+        assert!(t.reinsert(5, 8)); // old is the max: fast path
+        assert!(t.contains(8) && !t.contains(5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.nodes.len(), arena_before, "fast path must not allocate");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn reinsert_key_collisions() {
+        let mut t = OrderStatTree::new();
+        t.insert(3);
+        t.insert(5);
+        // old == new, present: no-op, reports presence.
+        assert!(t.reinsert(5, 5));
+        assert_eq!(t.len(), 2);
+        // old == new, absent: inserts.
+        assert!(!t.reinsert(9, 9));
+        assert!(t.contains(9));
+        // new collides with an existing key: old removed, set unchanged
+        // otherwise (mirrors remove(3); insert(9)).
+        assert!(t.reinsert(3, 9));
+        assert!(!t.contains(3) && t.contains(9));
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    /// The analyzer's exact pattern: clock-ordered inserts, reinsert moves
+    /// an arbitrary live key to the new maximum. Sizes and AVL balance must
+    /// survive an arbitrary interleaving, and the result must match the
+    /// unfused remove+insert on a reference set.
+    #[test]
+    fn randomized_reinsert_sequence_keeps_invariants() {
+        let mut rng = SplitMix64::seed_from_u64(0xfeed_beef);
+        for _case in 0..32 {
+            let mut t = OrderStatTree::new();
+            let mut set = BTreeSet::new();
+            let mut clock = 0u64;
+            let cold = rng.gen_range(1..40);
+            for _ in 0..cold {
+                clock += 1;
+                t.insert(clock);
+                set.insert(clock);
+            }
+            for _ in 0..rng.gen_range(1..300) {
+                clock += 1;
+                let live: Vec<u64> = set.iter().copied().collect();
+                let old = live[rng.gen_range(0..live.len() as u64) as usize];
+                assert!(t.reinsert(old, clock), "live key {old} must be found");
+                set.remove(&old);
+                set.insert(clock);
+                assert_eq!(t.len(), set.len());
+                assert_eq!(t.count_greater(0), set.len() as u64);
+            }
+            t.check_invariants();
+            let live: Vec<u64> = set.iter().copied().collect();
+            for &k in &live {
+                assert!(t.contains(k));
+                assert_eq!(
+                    t.count_greater(k),
+                    set.range(k + 1..).count() as u64
+                );
+            }
         }
     }
 }

@@ -1,9 +1,9 @@
 //! The tree-based online analyzer must agree exactly with the brute-force
-//! LRU stack-distance oracle on arbitrary traces.
+//! LRU stack-distance oracle on arbitrary traces (seeded randomized tests).
 
-use proptest::prelude::*;
 use reuselens_core::{oracle, Histogram, ReuseAnalyzer};
 use reuselens_ir::{Expr, ProgramBuilder, RefId};
+use reuselens_prng::SplitMix64;
 use reuselens_trace::TraceSink;
 
 /// A minimal one-reference program so the analyzer has a reference table.
@@ -16,14 +16,12 @@ fn dummy_program() -> reuselens_ir::Program {
     p.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn analyzer_distances_match_oracle(
-        addrs in proptest::collection::vec(0u64..4096, 1..500),
-        shift in 3u32..8,
-    ) {
+#[test]
+fn analyzer_distances_match_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0x000a_c1e0);
+    for _case in 0..64 {
+        let addrs = rng.vec_u64(1..500, 0..4096);
+        let shift = rng.gen_range(3..8) as u32;
         let block = 1u64 << shift;
         let prog = dummy_program();
         let mut an = ReuseAnalyzer::new(&prog, block);
@@ -34,7 +32,7 @@ proptest! {
 
         let expected = oracle::stack_distances(&addrs, block);
         let cold = expected.iter().filter(|d| d.is_none()).count() as u64;
-        prop_assert_eq!(profile.total_cold(), cold);
+        assert_eq!(profile.total_cold(), cold);
 
         let mut want = Histogram::new();
         for d in expected.into_iter().flatten() {
@@ -44,14 +42,16 @@ proptest! {
         for p in &profile.patterns {
             got.merge(&p.histogram);
         }
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn fully_associative_misses_match_simulation(
-        addrs in proptest::collection::vec(0u64..2048, 1..400),
-        cap in 1usize..64,
-    ) {
+#[test]
+fn fully_associative_misses_match_simulation() {
+    let mut rng = SplitMix64::seed_from_u64(0xfa11_a550c);
+    for _case in 0..64 {
+        let addrs = rng.vec_u64(1..400, 0..2048);
+        let cap = rng.gen_range(1..64) as usize;
         let block = 64u64;
         let prog = dummy_program();
         let mut an = ReuseAnalyzer::new(&prog, block);
@@ -68,7 +68,9 @@ proptest! {
             predicted += p.histogram.count_ge(cap as u64);
         }
         let simulated = oracle::fully_associative_misses(&addrs, block, cap);
-        prop_assert!((predicted - simulated as f64).abs() < 1e-9,
-            "predicted {predicted} != simulated {simulated}");
+        assert!(
+            (predicted - simulated as f64).abs() < 1e-9,
+            "predicted {predicted} != simulated {simulated}"
+        );
     }
 }

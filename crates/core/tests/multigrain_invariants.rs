@@ -1,10 +1,10 @@
-//! Cross-granularity invariants of the analyzer, checked on random
+//! Cross-granularity invariants of the analyzer, checked on seeded random
 //! traces: the properties the paper relies on when it measures cache
 //! (line) and TLB (page) behaviour in a single pass.
 
-use proptest::prelude::*;
 use reuselens_core::{MultiGrainAnalyzer, ReuseAnalyzer};
 use reuselens_ir::{AccessKind, Expr, ProgramBuilder, RefId};
+use reuselens_prng::SplitMix64;
 use reuselens_trace::TraceSink;
 
 fn dummy_program() -> reuselens_ir::Program {
@@ -16,15 +16,13 @@ fn dummy_program() -> reuselens_ir::Program {
     p.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Coarser blocks can only merge lines: fewer (or equal) distinct
-    /// blocks, identical access totals, fewer (or equal) cold misses.
-    #[test]
-    fn coarser_granularity_merges_blocks(
-        addrs in proptest::collection::vec(0u64..1 << 16, 1..400),
-    ) {
+/// Coarser blocks can only merge lines: fewer (or equal) distinct
+/// blocks, identical access totals, fewer (or equal) cold misses.
+#[test]
+fn coarser_granularity_merges_blocks() {
+    let mut rng = SplitMix64::seed_from_u64(0x6a41_0001);
+    for _case in 0..48 {
+        let addrs = rng.vec_u64(1..400, 0..1 << 16);
         let prog = dummy_program();
         let mut mg = MultiGrainAnalyzer::new(&prog, &[64, 4096]);
         for &a in &addrs {
@@ -32,19 +30,21 @@ proptest! {
         }
         let profiles = mg.finish();
         let (fine, coarse) = (&profiles[0], &profiles[1]);
-        prop_assert_eq!(fine.total_accesses, coarse.total_accesses);
-        prop_assert!(coarse.distinct_blocks <= fine.distinct_blocks);
-        prop_assert!(coarse.total_cold() <= fine.total_cold());
-        prop_assert!(fine.accesses_balance());
-        prop_assert!(coarse.accesses_balance());
+        assert_eq!(fine.total_accesses, coarse.total_accesses);
+        assert!(coarse.distinct_blocks <= fine.distinct_blocks);
+        assert!(coarse.total_cold() <= fine.total_cold());
+        assert!(fine.accesses_balance());
+        assert!(coarse.accesses_balance());
     }
+}
 
-    /// The multi-grain wrapper is exactly equivalent to running each
-    /// analyzer separately over the same trace.
-    #[test]
-    fn multigrain_equals_independent_runs(
-        addrs in proptest::collection::vec(0u64..1 << 14, 1..300),
-    ) {
+/// The multi-grain wrapper is exactly equivalent to running each
+/// analyzer separately over the same trace.
+#[test]
+fn multigrain_equals_independent_runs() {
+    let mut rng = SplitMix64::seed_from_u64(0x6a41_0002);
+    for _case in 0..48 {
+        let addrs = rng.vec_u64(1..300, 0..1 << 14);
         let prog = dummy_program();
         let mut mg = MultiGrainAnalyzer::new(&prog, &[64, 1024]);
         let mut fine = ReuseAnalyzer::new(&prog, 64);
@@ -55,16 +55,18 @@ proptest! {
             coarse.access(RefId(0), a, 8, AccessKind::Load);
         }
         let profiles = mg.finish();
-        prop_assert_eq!(&profiles[0], &fine.finish());
-        prop_assert_eq!(&profiles[1], &coarse.finish());
+        assert_eq!(&profiles[0], &fine.finish());
+        assert_eq!(&profiles[1], &coarse.finish());
     }
+}
 
-    /// At any granularity, a reuse distance never exceeds the number of
-    /// other distinct blocks in the whole run.
-    #[test]
-    fn distances_bounded_by_footprint(
-        addrs in proptest::collection::vec(0u64..1 << 12, 1..300),
-    ) {
+/// At any granularity, a reuse distance never exceeds the number of
+/// other distinct blocks in the whole run.
+#[test]
+fn distances_bounded_by_footprint() {
+    let mut rng = SplitMix64::seed_from_u64(0x6a41_0003);
+    for _case in 0..48 {
+        let addrs = rng.vec_u64(1..300, 0..1 << 12);
         let prog = dummy_program();
         let mut an = ReuseAnalyzer::new(&prog, 64);
         for &a in &addrs {
@@ -74,12 +76,43 @@ proptest! {
         let bound = profile.distinct_blocks; // self excluded => strict
         for pat in &profile.patterns {
             if let Some(max) = pat.histogram.max_distance() {
-                prop_assert!(max < bound.max(1) * 2,
-                    "distance {max} vs {bound} distinct blocks");
+                assert!(
+                    max < bound.max(1) * 2,
+                    "distance {max} vs {bound} distinct blocks"
+                );
             }
             // exact check on the histogram's mass at or above the bound
-            prop_assert_eq!(pat.histogram.count_ge(bound), 0.0);
+            assert_eq!(pat.histogram.count_ge(bound), 0.0);
         }
+    }
+}
+
+/// Capture + parallel replay is bit-identical to the online pass on a
+/// random indirect-access trace, at every granularity.
+#[test]
+fn parallel_replay_equals_online_on_random_gather() {
+    let mut rng = SplitMix64::seed_from_u64(0x6a41_0004);
+    for _case in 0..8 {
+        let n = rng.gen_range(16..128);
+        let mut p = ProgramBuilder::new("gather");
+        let ix = p.index_array("ix", &[n]);
+        let a = p.array("a", 8, &[8192]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 2, |r, _| {
+                r.for_("i", 0, (n - 1) as i64, |r, i| {
+                    r.load(a, vec![Expr::load(ix, vec![i.into()])]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let idx: Vec<i64> = (0..n).map(|_| rng.gen_range(0..8192) as i64).collect();
+        let online =
+            reuselens_core::analyze_program(&prog, &[64, 4096], vec![(ix, idx.clone())]).unwrap();
+        let (par, stats) =
+            reuselens_core::analyze_program_parallel(&prog, &[64, 4096], vec![(ix, idx)])
+                .unwrap();
+        assert_eq!(online.profiles, par.profiles);
+        assert_eq!(stats.buffer.accesses, online.exec.accesses);
     }
 }
 

@@ -234,7 +234,7 @@ pub fn fit_scaling(xs: &[f64], ys: &[f64], max_shape_terms: usize) -> Fit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reuselens_prng::SplitMix64;
 
     #[test]
     fn solve_small_system() {
@@ -296,19 +296,21 @@ mod tests {
         assert!(!f.to_string().is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn fit_never_panics_and_interpolates_reasonably(
-            coeff in 0.1f64..10.0,
-            which in 0usize..5,
-        ) {
+    /// Seeded randomized check over every basis shape and random
+    /// coefficients: fitting never panics and interpolation is accurate.
+    #[test]
+    fn fit_never_panics_and_interpolates_reasonably() {
+        let mut rng = SplitMix64::seed_from_u64(0xf17_5ca1e);
+        for _case in 0..128 {
+            let coeff = 0.1 + rng.gen_f64() * 9.9;
+            let which = rng.gen_range(0..5) as usize;
             let shape = ALL_BASIS[1 + which];
             let xs = [8.0, 12.0, 16.0, 24.0, 32.0];
             let ys: Vec<f64> = xs.iter().map(|&x| coeff * shape.eval(x) + 3.0).collect();
             let fit = fit_scaling(&xs, &ys, 2);
             // Interpolation within the training range is accurate.
             let truth = coeff * shape.eval(20.0) + 3.0;
-            prop_assert!((fit.eval(20.0) - truth).abs() / truth < 0.05);
+            assert!((fit.eval(20.0) - truth).abs() / truth < 0.05);
         }
     }
 }

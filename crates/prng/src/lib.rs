@@ -1,0 +1,152 @@
+//! # reuselens-prng — a tiny deterministic PRNG
+//!
+//! The build environment is fully offline, so the workspace cannot pull
+//! `rand` (or anything else) from crates.io. Workload generators and
+//! randomized tests only need a seedable, reproducible, statistically
+//! decent generator — [`SplitMix64`] (Steele, Lea & Flood, OOPSLA 2014)
+//! is 64 bits of state, passes BigCrush when used this way, and is the
+//! generator Java's `SplittableRandom` and xoshiro's seeding use.
+//!
+//! Determinism is load-bearing: workload index arrays are part of golden
+//! traces, so the sequence for a given seed must never change.
+//!
+//! # Examples
+//!
+//! ```
+//! use reuselens_prng::SplitMix64;
+//!
+//! let mut rng = SplitMix64::seed_from_u64(42);
+//! let a: Vec<u64> = (0..4).map(|_| rng.gen_range(0..100)).collect();
+//! let mut rng2 = SplitMix64::seed_from_u64(42);
+//! let b: Vec<u64> = (0..4).map(|_| rng2.gen_range(0..100)).collect();
+//! assert_eq!(a, b);
+//! assert!(a.iter().all(|&x| x < 100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A seedable SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Any seed (including 0) is
+    /// fine: the output function decorrelates consecutive states.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[range.start, range.end)` via the widening
+    /// multiply-shift reduction (bias ≤ 2⁻⁶⁴ · span, irrelevant here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        let span = range
+            .end
+            .checked_sub(range.start)
+            .filter(|&s| s > 0)
+            .expect("gen_range called with an empty range");
+        range.start + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// A uniform value in `[range.start, range.end)` over signed integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_i64(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range_i64 on an empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(self.gen_range(0..span) as i64)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A vector of `n` values drawn from `vals`, where `n` itself is drawn
+    /// from `len` — the shape the converted property tests use everywhere.
+    pub fn vec_u64(&mut self, len: Range<u64>, vals: Range<u64>) -> Vec<u64> {
+        let n = self.gen_range(len);
+        (0..n).map(|_| self.gen_range(vals.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(1);
+        let mut c = SplitMix64::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn known_answer_locks_the_sequence() {
+        // Reference values from the published SplitMix64 algorithm with
+        // seed 1234567. If these change, every golden workload changes.
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let s = r.gen_range_i64(-5..5);
+            assert!((-5..5).contains(&s));
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        // All values of a small range are reachable.
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vec_helper_obeys_both_ranges() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = r.vec_u64(1..50, 0..7);
+            assert!(!v.is_empty() && v.len() < 50);
+            assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(5..5);
+    }
+}

@@ -65,7 +65,7 @@ pub fn coverage(s: u64, accesses: &[(i64, u32)]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reuselens_prng::SplitMix64;
 
     #[test]
     fn single_access_covers_its_width() {
@@ -104,12 +104,16 @@ mod tests {
         assert_eq!(coverage(32, &[]), 0);
     }
 
-    proptest! {
-        #[test]
-        fn matches_bitmap_reference(
-            s in 1u64..128,
-            accesses in proptest::collection::vec((-200i64..200, 1u32..32), 0..12),
-        ) {
+    /// Seeded randomized differential test against a byte-bitmap reference.
+    #[test]
+    fn matches_bitmap_reference() {
+        let mut rng = SplitMix64::seed_from_u64(0xc0_0e4a6e);
+        for _case in 0..256 {
+            let s = rng.gen_range(1..128);
+            let n = rng.gen_range(0..12);
+            let accesses: Vec<(i64, u32)> = (0..n)
+                .map(|_| (rng.gen_range_i64(-200..200), rng.gen_range(1..32) as u32))
+                .collect();
             let fast = coverage(s, &accesses);
             let mut bytes = vec![false; s as usize];
             for &(off, w) in &accesses {
@@ -119,7 +123,7 @@ mod tests {
                 }
             }
             let naive = bytes.iter().filter(|&&b| b).count() as u64;
-            prop_assert_eq!(fast, naive);
+            assert_eq!(fast, naive, "size {s}, accesses {accesses:?}");
         }
     }
 }

@@ -28,6 +28,19 @@ pub enum Event {
     Exit(ScopeId),
 }
 
+/// One decoded memory access, the unit of the batched sink API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessRecord {
+    /// The static reference performing the access.
+    pub r: RefId,
+    /// Virtual byte address accessed.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub size: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
 /// Receives instrumentation events during execution.
 ///
 /// Implementations are the moral equivalent of the paper's event-handler
@@ -41,6 +54,15 @@ pub trait TraceSink {
     fn enter(&mut self, scope: ScopeId);
     /// Called when a routine or loop scope is exited.
     fn exit(&mut self, scope: ScopeId);
+    /// Called with a run of consecutive accesses (no scope transitions in
+    /// between). Replay from a [`crate::TraceBuffer`] uses this to amortize
+    /// dynamic dispatch: one virtual call per batch instead of per event.
+    /// The default forwards to [`access`](Self::access) record by record.
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        for a in batch {
+            self.access(a.r, a.addr, a.size, a.kind);
+        }
+    }
 }
 
 /// A sink that discards all events (useful for measuring executor overhead).
@@ -123,6 +145,10 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
         self.a.exit(scope);
         self.b.exit(scope);
     }
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        self.a.access_batch(batch);
+        self.b.access_batch(batch);
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
@@ -134,6 +160,9 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
     fn exit(&mut self, scope: ScopeId) {
         (**self).exit(scope);
+    }
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        (**self).access_batch(batch);
     }
 }
 

@@ -5,8 +5,10 @@
 //! memory access (reference id, virtual address, width, load/store) and one
 //! per routine/loop entry and exit.
 //!
-//! Analyzers implement [`TraceSink`] and observe events online — nothing is
-//! materialized unless a test asks for it with [`VecSink`].
+//! Analyzers implement [`TraceSink`] and observe events online, or capture
+//! the stream once into a compact [`TraceBuffer`] and replay it many times
+//! (per block granularity, per cache configuration) without re-interpreting
+//! the program.
 //!
 //! # Examples
 //!
@@ -33,8 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod event;
 mod exec;
 
-pub use event::{Event, NullSink, TeeSink, TraceSink, VecSink};
+pub use buffer::{BufferStats, TraceBuffer, TraceIter};
+pub use event::{AccessRecord, Event, NullSink, TeeSink, TraceSink, VecSink};
 pub use exec::{ExecError, ExecReport, Executor, LoopStats};

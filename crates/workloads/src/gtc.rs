@@ -25,8 +25,7 @@
 //! `+poisson transforms`, `+smooth LI`, `+pushi tiling/fusion`.
 
 use crate::BuiltWorkload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use reuselens_prng::SplitMix64;
 use reuselens_ir::{ArrayId, BodyBuilder, Expr, ProgramBuilder};
 
 /// Maximum ring-stencil length in the Poisson solver.
@@ -428,7 +427,7 @@ pub fn build(cfg: &GtcConfig) -> BuiltWorkload {
     });
 
     // ---- index-array contents ------------------------------------------
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     let mut index_arrays: Vec<(ArrayId, Vec<i64>)> = Vec::new();
     // Particles scattered over the grid: consecutive particles land on
     // unrelated cells (the irregular deposition/gather the paper reports).

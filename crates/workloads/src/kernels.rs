@@ -1,8 +1,7 @@
 //! Pedagogical kernels from the paper and synthetic generators.
 
 use crate::BuiltWorkload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use reuselens_prng::SplitMix64;
 use reuselens_ir::{Expr, Program, ProgramBuilder};
 
 /// Which version of the Figure 1 loop nest to build.
@@ -131,7 +130,7 @@ pub fn random_gather(table: u64, accesses: u64, passes: u64, seed: u64) -> Built
             });
         });
     });
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let idx: Vec<i64> = (0..accesses)
         .map(|_| rng.gen_range(0..table) as i64)
         .collect();

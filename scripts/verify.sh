@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Full verification gate: release build, offline test suite, and
+# warning-free clippy across the workspace.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets --no-deps -- -D warnings
