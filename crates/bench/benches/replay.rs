@@ -61,12 +61,12 @@ fn shared_online(w: &BuiltWorkload, hs: &[MemoryHierarchy]) -> f64 {
 /// replay thread per grain, one scoring thread per configuration.
 fn capture_parallel(w: &BuiltWorkload, hs: &[MemoryHierarchy]) -> f64 {
     let (buffer, report) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
-    let (profiles, _timings) = analyze_buffer(&w.program, &buffer, &GRAINS);
+    let (profiles, _timings) = analyze_buffer(&w.program, &buffer, &GRAINS).unwrap();
     let analysis = AnalysisResult {
         profiles,
         exec: report,
     };
-    let (reports, _timings) = evaluate_sweep(&analysis, hs);
+    let (reports, _timings) = evaluate_sweep(&analysis, hs).unwrap();
     reports.iter().map(|r| r.timing.total()).sum()
 }
 

@@ -1,5 +1,6 @@
 //! Memory-hierarchy descriptions and presets.
 
+use crate::error::ConfigError;
 use std::fmt;
 
 /// Cache associativity.
@@ -34,35 +35,104 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Creates a cache level description.
+    /// Creates a cache level description, validating its geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `line_size` is a power of two, `capacity` is a
-    /// positive multiple of `line_size`, and the way count (if any) divides
-    /// the block count.
-    pub fn new(name: &str, capacity: u64, line_size: u64, assoc: Assoc) -> CacheConfig {
-        assert!(line_size.is_power_of_two(), "line size must be power of two");
-        assert!(
-            capacity > 0 && capacity.is_multiple_of(line_size),
-            "capacity must be a positive multiple of the line size"
-        );
-        let blocks = capacity / line_size;
-        if let Assoc::Ways(w) = assoc {
-            assert!(w > 0 && blocks.is_multiple_of(w as u64), "ways must divide blocks");
-        }
-        CacheConfig {
+    /// Returns a [`ConfigError`] unless `line_size` is a power of two,
+    /// `capacity` is a positive multiple of `line_size`, and the way count
+    /// (if any) is nonzero and divides the block count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reuselens_cache::{Assoc, CacheConfig, ConfigError};
+    ///
+    /// assert!(CacheConfig::try_new("L2", 256 * 1024, 128, Assoc::Ways(8)).is_ok());
+    /// assert!(matches!(
+    ///     CacheConfig::try_new("bad", 1024, 48, Assoc::Full),
+    ///     Err(ConfigError::LineSizeNotPowerOfTwo { line_size: 48 })
+    /// ));
+    /// ```
+    pub fn try_new(
+        name: &str,
+        capacity: u64,
+        line_size: u64,
+        assoc: Assoc,
+    ) -> Result<CacheConfig, ConfigError> {
+        let config = CacheConfig {
             name: name.to_string(),
             capacity,
             line_size,
             assoc,
-        }
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Creates a cache level description.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`CacheConfig::try_new`] would return an error.
+    pub fn new(name: &str, capacity: u64, line_size: u64, assoc: Assoc) -> CacheConfig {
+        CacheConfig::try_new(name, capacity, line_size, assoc).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Describes a TLB with `entries` translations over pages of
+    /// `page_size` bytes, validating the geometry (including overflow of
+    /// `entries * page_size`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on overflow or invalid geometry.
+    pub fn try_tlb(
+        name: &str,
+        entries: u64,
+        page_size: u64,
+        assoc: Assoc,
+    ) -> Result<CacheConfig, ConfigError> {
+        let capacity = entries
+            .checked_mul(page_size)
+            .ok_or(ConfigError::TlbOverflow { entries, page_size })?;
+        CacheConfig::try_new(name, capacity, page_size, assoc)
     }
 
     /// Describes a TLB with `entries` translations over pages of
     /// `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`CacheConfig::try_tlb`] would return an error.
     pub fn tlb(name: &str, entries: u64, page_size: u64, assoc: Assoc) -> CacheConfig {
-        CacheConfig::new(name, entries * page_size, page_size, assoc)
+        CacheConfig::try_tlb(name, entries, page_size, assoc).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Re-checks the geometry invariants. Useful for configurations built
+    /// or mutated field-by-field (the fields are public).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.line_size.is_power_of_two() {
+            return Err(ConfigError::LineSizeNotPowerOfTwo {
+                line_size: self.line_size,
+            });
+        }
+        if self.capacity == 0 || !self.capacity.is_multiple_of(self.line_size) {
+            return Err(ConfigError::CapacityNotMultiple {
+                capacity: self.capacity,
+                line_size: self.line_size,
+            });
+        }
+        let blocks = self.capacity / self.line_size;
+        if let Assoc::Ways(w) = self.assoc {
+            if w == 0 || !blocks.is_multiple_of(w as u64) {
+                return Err(ConfigError::WaysDontDivideBlocks { ways: w, blocks });
+            }
+        }
+        Ok(())
     }
 
     /// Total number of blocks (lines / TLB entries).
@@ -184,6 +254,43 @@ impl MemoryHierarchy {
     pub fn level(&self, name: &str) -> Option<&CacheConfig> {
         self.levels.iter().find(|l| l.name == name)
     }
+
+    /// Validates the hierarchy as a whole: at least one cache level, every
+    /// level and the TLB geometrically valid, all names (TLB included)
+    /// distinct, and one miss penalty per level. Called by
+    /// [`evaluate_sweep`](crate::evaluate_sweep) before scoring, so a
+    /// hand-built candidate cannot poison a sweep with a panic deep in the
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.levels.is_empty() {
+            return Err(ConfigError::NoLevels {
+                hierarchy: self.name.clone(),
+            });
+        }
+        let mut names = Vec::with_capacity(self.levels.len() + 1);
+        for level in self.levels.iter().chain(std::iter::once(&self.tlb)) {
+            level.validate()?;
+            if names.contains(&level.name.as_str()) {
+                return Err(ConfigError::DuplicateLevel {
+                    hierarchy: self.name.clone(),
+                    name: level.name.clone(),
+                });
+            }
+            names.push(level.name.as_str());
+        }
+        if self.miss_penalty.len() != self.levels.len() {
+            return Err(ConfigError::PenaltyMismatch {
+                hierarchy: self.name.clone(),
+                levels: self.levels.len(),
+                penalties: self.miss_penalty.len(),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for MemoryHierarchy {
@@ -233,6 +340,66 @@ mod tests {
     #[should_panic(expected = "ways must divide blocks")]
     fn bad_ways_panics() {
         CacheConfig::new("x", 1024, 128, Assoc::Ways(3));
+    }
+
+    #[test]
+    fn try_new_reports_each_violation() {
+        assert!(matches!(
+            CacheConfig::try_new("x", 1024, 48, Assoc::Full),
+            Err(ConfigError::LineSizeNotPowerOfTwo { line_size: 48 })
+        ));
+        assert!(matches!(
+            CacheConfig::try_new("x", 0, 64, Assoc::Full),
+            Err(ConfigError::CapacityNotMultiple { capacity: 0, .. })
+        ));
+        assert!(matches!(
+            CacheConfig::try_new("x", 100, 64, Assoc::Full),
+            Err(ConfigError::CapacityNotMultiple { capacity: 100, .. })
+        ));
+        assert!(matches!(
+            CacheConfig::try_new("x", 1024, 128, Assoc::Ways(0)),
+            Err(ConfigError::WaysDontDivideBlocks { ways: 0, .. })
+        ));
+        assert!(matches!(
+            CacheConfig::try_tlb("t", u64::MAX, 16 * 1024, Assoc::Full),
+            Err(ConfigError::TlbOverflow { .. })
+        ));
+        assert!(CacheConfig::try_tlb("t", 128, 16 * 1024, Assoc::Full).is_ok());
+    }
+
+    #[test]
+    fn hierarchy_validate_catches_structural_problems() {
+        assert!(MemoryHierarchy::itanium2().validate().is_ok());
+
+        let mut h = MemoryHierarchy::itanium2();
+        h.levels.clear();
+        assert!(matches!(h.validate(), Err(ConfigError::NoLevels { .. })));
+
+        let mut h = MemoryHierarchy::itanium2();
+        h.levels[1].name = "L2".to_string();
+        assert!(matches!(
+            h.validate(),
+            Err(ConfigError::DuplicateLevel { ref name, .. }) if name == "L2"
+        ));
+
+        let mut h = MemoryHierarchy::itanium2();
+        h.tlb.name = "L3".to_string();
+        assert!(matches!(h.validate(), Err(ConfigError::DuplicateLevel { .. })));
+
+        let mut h = MemoryHierarchy::itanium2();
+        h.miss_penalty.pop();
+        assert!(matches!(
+            h.validate(),
+            Err(ConfigError::PenaltyMismatch { levels: 2, penalties: 1, .. })
+        ));
+
+        // A level mutated into invalidity after construction is caught too.
+        let mut h = MemoryHierarchy::itanium2();
+        h.levels[0].capacity = 100;
+        assert!(matches!(
+            h.validate(),
+            Err(ConfigError::CapacityNotMultiple { .. })
+        ));
     }
 
     #[test]

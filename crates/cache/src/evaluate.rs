@@ -7,11 +7,14 @@
 //! capture-once / replay-many pipeline.
 
 use crate::config::MemoryHierarchy;
+use crate::error::ReuseLensError;
 use crate::model::{predict_level, LevelPrediction};
 use crate::timing::{predict_cycles, TimingBreakdown};
 use reuselens_core::{analyze_program, analyze_program_parallel, AnalysisResult};
 use reuselens_ir::{ArrayId, Program};
 use reuselens_trace::ExecError;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Predicted behaviour of one program run on one memory hierarchy.
@@ -82,40 +85,57 @@ pub fn evaluate_program(
     Ok((report_from_analysis(&analysis, hierarchy), analysis))
 }
 
-/// Builds a [`HierarchyReport`] from an existing analysis (must contain
-/// profiles at every granularity the hierarchy requires).
+/// Builds a [`HierarchyReport`] from an existing analysis, first checking
+/// that the hierarchy description is valid
+/// ([`MemoryHierarchy::validate`]) and that a profile was measured at
+/// every granularity it requires.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a required granularity was not measured.
-pub fn report_from_analysis(
+/// Returns [`ReuseLensError::Config`] for an invalid hierarchy and
+/// [`ReuseLensError::MissingProfile`] for an unmeasured granularity.
+pub fn try_report_from_analysis(
     analysis: &AnalysisResult,
     hierarchy: &MemoryHierarchy,
-) -> HierarchyReport {
+) -> Result<HierarchyReport, ReuseLensError> {
+    hierarchy.validate()?;
+    let profile_at = |granularity: u64| {
+        analysis
+            .profile_at(granularity)
+            .ok_or_else(|| ReuseLensError::MissingProfile {
+                hierarchy: hierarchy.name.clone(),
+                granularity,
+            })
+    };
     let levels: Vec<LevelPrediction> = hierarchy
         .levels
         .iter()
-        .map(|cfg| {
-            let profile = analysis
-                .profile_at(cfg.line_size)
-                .unwrap_or_else(|| panic!("no profile at granularity {}", cfg.line_size));
-            predict_level(profile, cfg)
-        })
-        .collect();
-    let tlb_profile = analysis
-        .profile_at(hierarchy.tlb.line_size)
-        .expect("no profile at page granularity");
-    let tlb = predict_level(tlb_profile, &hierarchy.tlb);
+        .map(|cfg| Ok(predict_level(profile_at(cfg.line_size)?, cfg)))
+        .collect::<Result<_, ReuseLensError>>()?;
+    let tlb = predict_level(profile_at(hierarchy.tlb.line_size)?, &hierarchy.tlb);
     let accesses = analysis.exec.accesses;
     let level_misses: Vec<f64> = levels.iter().map(|l| l.total).collect();
     let timing = predict_cycles(hierarchy, accesses, &level_misses, tlb.total);
-    HierarchyReport {
+    Ok(HierarchyReport {
         hierarchy: hierarchy.name.clone(),
         levels,
         tlb,
         timing,
         accesses,
-    }
+    })
+}
+
+/// Builds a [`HierarchyReport`] from an existing analysis (must contain
+/// profiles at every granularity the hierarchy requires).
+///
+/// # Panics
+///
+/// Panics where [`try_report_from_analysis`] would return an error.
+pub fn report_from_analysis(
+    analysis: &AnalysisResult,
+    hierarchy: &MemoryHierarchy,
+) -> HierarchyReport {
+    try_report_from_analysis(analysis, hierarchy).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Wall time one hierarchy's prediction thread took in a sweep.
@@ -127,42 +147,172 @@ pub struct SweepTiming {
     pub wall: Duration,
 }
 
+/// One hierarchy's failure inside a degraded sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Name of the hierarchy that could not be scored.
+    pub hierarchy: String,
+    /// Why scoring it failed.
+    pub error: ReuseLensError,
+}
+
+impl fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.hierarchy, self.error)
+    }
+}
+
+/// The degraded result of [`evaluate_sweep_degraded`]: reports for every
+/// hierarchy that scored cleanly, and a [`SweepFailure`] for every one
+/// that did not. Each requested hierarchy appears exactly once, in either
+/// `reports` or `failures`, keeping request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Reports of the hierarchies that scored, in request order.
+    pub reports: Vec<HierarchyReport>,
+    /// Per-thread timings, index-aligned with `reports`.
+    pub timings: Vec<SweepTiming>,
+    /// One entry per failed hierarchy, in request order.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepOutcome {
+    /// True when every requested hierarchy was scored.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// One hierarchy's scoring, panic-isolated and validated.
+fn score_hierarchy(
+    analysis: &AnalysisResult,
+    h: &MemoryHierarchy,
+) -> Result<(HierarchyReport, SweepTiming), SweepFailure> {
+    let start = Instant::now();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| try_report_from_analysis(analysis, h)));
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        Ok(Err(error)) => {
+            return Err(SweepFailure {
+                hierarchy: h.name.clone(),
+                error,
+            })
+        }
+        Err(payload) => {
+            return Err(SweepFailure {
+                hierarchy: h.name.clone(),
+                error: ReuseLensError::SweepPanicked {
+                    hierarchy: h.name.clone(),
+                    message: panic_message(payload.as_ref()),
+                },
+            })
+        }
+    };
+    Ok((
+        report,
+        SweepTiming {
+            hierarchy: h.name.clone(),
+            wall: start.elapsed(),
+        },
+    ))
+}
+
+/// Fans one analysis out over candidate hierarchies, one scoring thread
+/// per candidate, under panic isolation. Returns each candidate's outcome
+/// in request order.
+fn sweep_outcomes(
+    analysis: &AnalysisResult,
+    hierarchies: &[MemoryHierarchy],
+) -> Vec<Result<(HierarchyReport, SweepTiming), SweepFailure>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = hierarchies
+            .iter()
+            .map(|h| s.spawn(move || score_hierarchy(analysis, h)))
+            .collect();
+        handles
+            .into_iter()
+            .zip(hierarchies)
+            .map(|(handle, h)| match handle.join() {
+                Ok(outcome) => outcome,
+                // `score_hierarchy` catches panics itself; backstop only.
+                Err(payload) => Err(SweepFailure {
+                    hierarchy: h.name.clone(),
+                    error: ReuseLensError::SweepPanicked {
+                        hierarchy: h.name.clone(),
+                        message: panic_message(payload.as_ref()),
+                    },
+                }),
+            })
+            .collect()
+    })
+}
+
 /// Scores one measured analysis against many candidate hierarchies, one
 /// thread per hierarchy. The profiles are shared immutably, so the
 /// predictions are independent and the reports come back in request order
 /// together with per-thread timings.
 ///
-/// # Panics
+/// Every candidate is validated ([`MemoryHierarchy::validate`]) and every
+/// scoring thread runs under panic isolation, so an invalid or
+/// pathological candidate surfaces as an error rather than aborting the
+/// sweep. Use [`evaluate_sweep_degraded`] to keep the healthy candidates'
+/// reports when some fail.
 ///
-/// Panics if the analysis lacks a profile at a granularity some hierarchy
-/// requires (measure the union of
+/// # Errors
+///
+/// Returns the first failure — an invalid hierarchy description, a
+/// missing granularity (measure the union of
 /// [`required_granularities`](MemoryHierarchy::required_granularities)
-/// up front).
+/// up front), or an isolated scoring panic — as a [`ReuseLensError`].
 pub fn evaluate_sweep(
     analysis: &AnalysisResult,
     hierarchies: &[MemoryHierarchy],
-) -> (Vec<HierarchyReport>, Vec<SweepTiming>) {
-    let outcomes = std::thread::scope(|s| {
-        let handles: Vec<_> = hierarchies
-            .iter()
-            .map(|h| {
-                s.spawn(move || {
-                    let start = Instant::now();
-                    let report = report_from_analysis(analysis, h);
-                    let timing = SweepTiming {
-                        hierarchy: h.name.clone(),
-                        wall: start.elapsed(),
-                    };
-                    (report, timing)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread panicked"))
-            .collect::<Vec<_>>()
-    });
-    outcomes.into_iter().unzip()
+) -> Result<(Vec<HierarchyReport>, Vec<SweepTiming>), ReuseLensError> {
+    let mut reports = Vec::with_capacity(hierarchies.len());
+    let mut timings = Vec::with_capacity(hierarchies.len());
+    for outcome in sweep_outcomes(analysis, hierarchies) {
+        let (report, timing) = outcome.map_err(|f| f.error)?;
+        reports.push(report);
+        timings.push(timing);
+    }
+    Ok((reports, timings))
+}
+
+/// The degrading form of [`evaluate_sweep`]: scores every candidate under
+/// panic isolation and reports per-candidate failures in the returned
+/// [`SweepOutcome`] instead of failing the whole sweep. A design-space
+/// search over hundreds of generated candidates keeps every healthy data
+/// point even when a few candidates are malformed.
+pub fn evaluate_sweep_degraded(
+    analysis: &AnalysisResult,
+    hierarchies: &[MemoryHierarchy],
+) -> SweepOutcome {
+    let mut out = SweepOutcome {
+        reports: Vec::new(),
+        timings: Vec::new(),
+        failures: Vec::new(),
+    };
+    for outcome in sweep_outcomes(analysis, hierarchies) {
+        match outcome {
+            Ok((report, timing)) => {
+                out.reports.push(report);
+                out.timings.push(timing);
+            }
+            Err(failure) => out.failures.push(failure),
+        }
+    }
+    out
 }
 
 /// The full capture-once pipeline: interprets `program` a single time,
@@ -172,12 +322,13 @@ pub fn evaluate_sweep(
 ///
 /// # Errors
 ///
-/// Propagates executor errors from the capture run.
+/// Returns any failure along the pipeline — capture, replay, or sweep —
+/// as a [`ReuseLensError`].
 pub fn evaluate_program_sweep(
     program: &Program,
     hierarchies: &[MemoryHierarchy],
     index_arrays: Vec<(ArrayId, Vec<i64>)>,
-) -> Result<(Vec<HierarchyReport>, AnalysisResult), ExecError> {
+) -> Result<(Vec<HierarchyReport>, AnalysisResult), ReuseLensError> {
     let mut grains: Vec<u64> = hierarchies
         .iter()
         .flat_map(MemoryHierarchy::required_granularities)
@@ -185,7 +336,7 @@ pub fn evaluate_program_sweep(
     grains.sort_unstable();
     grains.dedup();
     let (analysis, _stats) = analyze_program_parallel(program, &grains, index_arrays)?;
-    let (reports, _timings) = evaluate_sweep(&analysis, hierarchies);
+    let (reports, _timings) = evaluate_sweep(&analysis, hierarchies)?;
     Ok((reports, analysis))
 }
 
@@ -251,7 +402,7 @@ mod tests {
             assert_eq!(got, &want);
         }
         // Timings are observable and labeled in request order.
-        let (again, timings) = evaluate_sweep(&analysis, &hierarchies);
+        let (again, timings) = evaluate_sweep(&analysis, &hierarchies).unwrap();
         assert_eq!(again, reports);
         let names: Vec<&str> = timings.iter().map(|t| t.hierarchy.as_str()).collect();
         let want_names: Vec<&str> =

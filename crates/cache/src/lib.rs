@@ -17,8 +17,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
+mod error;
 mod evaluate;
 mod model;
 mod simulator;
@@ -26,9 +28,11 @@ mod threec;
 mod timing;
 
 pub use config::{Assoc, CacheConfig, MemoryHierarchy};
+pub use error::{ConfigError, ReuseLensError};
 pub use evaluate::{
-    evaluate_program, evaluate_program_sweep, evaluate_sweep, report_from_analysis,
-    HierarchyReport, SweepTiming,
+    evaluate_program, evaluate_program_sweep, evaluate_sweep, evaluate_sweep_degraded,
+    report_from_analysis, try_report_from_analysis, HierarchyReport, SweepFailure, SweepOutcome,
+    SweepTiming,
 };
 pub use model::{miss_curve, miss_probability, predict_level, LevelPrediction};
 pub use simulator::{CacheSim, HierarchySim, Replacement};

@@ -11,12 +11,131 @@
 //!   then replays the buffer on its own thread. Decoding the buffer is far
 //!   cheaper than re-interpreting the program, and the per-grain analyzers
 //!   share nothing, so the replays are embarrassingly parallel.
+//!
+//! ## Fault tolerance
+//!
+//! The replay pipeline is built to run unattended over full application
+//! executions, so a failing grain must not take the run down with it:
+//!
+//! * every grain thread runs under `catch_unwind` — a panic in one grain's
+//!   analyzer never aborts the process or discards sibling grains;
+//! * [`analyze_buffer_with`] degrades gracefully: failed grains come back
+//!   as per-grain [`FailureReport`]s inside a [`PartialAnalysis`], after a
+//!   sequential single-grain retry pass (transient panics get one more
+//!   chance on an otherwise idle machine before the grain is declared
+//!   dead);
+//! * [`AnalyzeOptions`] can route replay through the validating decoder
+//!   ([`TraceBuffer::try_replay`]) and enforce an [`AnalysisBudget`], so
+//!   corrupted captures surface as [`DecodeError`]s and runaway traces
+//!   stop with [`BudgetExceeded`] — both carrying diagnostics, neither
+//!   panicking;
+//! * the strict entry points ([`analyze_buffer`],
+//!   [`analyze_program_parallel`]) return `Result` and map the first grain
+//!   failure into an [`AnalysisError`].
 
 use crate::analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
+use crate::budget::{AnalysisBudget, BudgetExceeded, BudgetProgress};
 use crate::patterns::ReuseProfile;
 use reuselens_ir::{ArrayId, Program};
-use reuselens_trace::{BufferStats, ExecError, ExecReport, Executor, TraceBuffer};
+use reuselens_trace::{
+    AccessRecord, BufferStats, DecodeError, Event, ExecError, ExecReport, Executor, TraceBuffer,
+    TraceSink,
+};
+use std::error::Error;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Events per batch on the guarded (validated / budgeted) replay path;
+/// matches the trace buffer's internal batching.
+const GUARDED_BATCH: usize = 256;
+
+/// Why one grain's replay failed. Deterministic failures (decode, budget)
+/// are not retried; panics get one sequential retry before the grain is
+/// declared dead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrainError {
+    /// The grain's replay thread panicked; the payload's message, or
+    /// `"unknown panic payload"` when the payload was not a string.
+    Panicked(String),
+    /// The validating decoder rejected the buffer.
+    Decode(DecodeError),
+    /// The grain crossed its resource budget.
+    Budget(BudgetExceeded),
+}
+
+impl fmt::Display for GrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrainError::Panicked(msg) => write!(f, "replay thread panicked: {msg}"),
+            GrainError::Decode(e) => write!(f, "trace decode failed: {e}"),
+            GrainError::Budget(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for GrainError {}
+
+/// Error from the strict analysis entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The capture run failed in the executor.
+    Exec(ExecError),
+    /// The validating decoder rejected the trace buffer.
+    Decode(DecodeError),
+    /// A grain crossed its resource budget.
+    Budget(BudgetExceeded),
+    /// A grain's replay thread panicked (after the retry pass).
+    GrainPanicked {
+        /// Block size of the failed grain.
+        block_size: u64,
+        /// Panic message, or `"unknown panic payload"`.
+        message: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Exec(e) => e.fmt(f),
+            AnalysisError::Decode(e) => write!(f, "trace decode failed: {e}"),
+            AnalysisError::Budget(e) => e.fmt(f),
+            AnalysisError::GrainPanicked {
+                block_size,
+                message,
+            } => write!(f, "replay thread for grain {block_size} panicked: {message}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Exec(e) => Some(e),
+            AnalysisError::Decode(e) => Some(e),
+            AnalysisError::Budget(e) => Some(e),
+            AnalysisError::GrainPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<ExecError> for AnalysisError {
+    fn from(e: ExecError) -> AnalysisError {
+        AnalysisError::Exec(e)
+    }
+}
+
+impl From<DecodeError> for AnalysisError {
+    fn from(e: DecodeError) -> AnalysisError {
+        AnalysisError::Decode(e)
+    }
+}
+
+impl From<BudgetExceeded> for AnalysisError {
+    fn from(e: BudgetExceeded) -> AnalysisError {
+        AnalysisError::Budget(e)
+    }
+}
 
 /// The result of [`analyze_program`]: reuse profiles (one per granularity,
 /// in request order) plus the executor's dynamic statistics (loop trip
@@ -125,33 +244,291 @@ pub fn capture_program(
     Ok((buffer, report))
 }
 
+/// Knobs for the fault-tolerant replay pipeline
+/// ([`analyze_buffer_with`] / [`analyze_program_degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Resource caps per grain; unlimited by default.
+    pub budget: AnalysisBudget,
+    /// Route replay through the validating decoder even with an unlimited
+    /// budget (budgeted replay always validates). Off by default: buffers
+    /// captured in-process are trusted and take the unchecked fast path.
+    pub validate: bool,
+    /// Retry a *panicked* grain once, sequentially, before declaring it
+    /// dead. Deterministic failures (decode, budget) are never retried.
+    /// On by default.
+    pub retry: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> AnalyzeOptions {
+        AnalyzeOptions {
+            budget: AnalysisBudget::unlimited(),
+            validate: false,
+            retry: true,
+        }
+    }
+}
+
+/// One grain's failure, reported inside a [`PartialAnalysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureReport {
+    /// Block size of the grain that failed.
+    pub block_size: u64,
+    /// Why it failed (the error from the final attempt).
+    pub error: GrainError,
+    /// Whether a sequential retry was attempted before declaring the
+    /// grain dead.
+    pub retried: bool,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grain {}: {}{}",
+            self.block_size,
+            self.error,
+            if self.retried { " (after retry)" } else { "" }
+        )
+    }
+}
+
+/// The degraded result of a fault-tolerant replay: profiles for every
+/// grain that survived, and a [`FailureReport`] for every grain that did
+/// not. Healthy grains are never discarded because a sibling failed.
+///
+/// A `PartialAnalysis` promises:
+///
+/// * `profiles` and `replays` are index-aligned and keep request order
+///   (failed grains are simply absent);
+/// * every requested grain appears **exactly once** — either in
+///   `profiles` or in `failures`;
+/// * each surviving profile is bit-identical to what a fully healthy run
+///   would have produced for that grain (replays share nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAnalysis {
+    /// Profiles of the grains that completed, in request order.
+    pub profiles: Vec<ReuseProfile>,
+    /// Replay timings for the completed grains, index-aligned with
+    /// `profiles`.
+    pub replays: Vec<ReplayTiming>,
+    /// One report per failed grain, in request order.
+    pub failures: Vec<FailureReport>,
+}
+
+impl PartialAnalysis {
+    /// True when every requested grain completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The surviving profile at the given block size.
+    pub fn profile_at(&self, block_size: u64) -> Option<&ReuseProfile> {
+        self.profiles.iter().find(|p| p.block_size == block_size)
+    }
+
+    /// The failure report for the given block size, if that grain died.
+    pub fn failure_at(&self, block_size: u64) -> Option<&FailureReport> {
+        self.failures.iter().find(|f| f.block_size == block_size)
+    }
+
+    /// Converts to the strict shape, failing on the first dead grain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure as an [`AnalysisError`].
+    pub fn into_strict(self) -> Result<(Vec<ReuseProfile>, Vec<ReplayTiming>), AnalysisError> {
+        match self.failures.into_iter().next() {
+            None => Ok((self.profiles, self.replays)),
+            Some(f) => Err(match f.error {
+                GrainError::Decode(e) => AnalysisError::Decode(e),
+                GrainError::Budget(e) => AnalysisError::Budget(e),
+                GrainError::Panicked(message) => AnalysisError::GrainPanicked {
+                    block_size: f.block_size,
+                    message,
+                },
+            }),
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Replays `buffer` through `analyzer` on the validating decoder,
+/// checking the budget once per batch.
+fn replay_guarded(
+    buffer: &TraceBuffer,
+    analyzer: &mut ReuseAnalyzer,
+    budget: &AnalysisBudget,
+) -> Result<(), GrainError> {
+    let mut batch: Vec<AccessRecord> = Vec::with_capacity(GUARDED_BATCH);
+    let mut events = 0u64;
+    let check = |analyzer: &ReuseAnalyzer, events: u64| {
+        budget
+            .check(BudgetProgress {
+                events,
+                distinct_blocks: analyzer.distinct_blocks(),
+                tree_nodes: analyzer.tree_nodes() as u64,
+            })
+            .map_err(GrainError::Budget)
+    };
+    for event in buffer.try_iter() {
+        events += 1;
+        match event.map_err(GrainError::Decode)? {
+            Event::Access { r, addr, size, kind } => {
+                batch.push(AccessRecord { r, addr, size, kind });
+                if batch.len() == GUARDED_BATCH {
+                    analyzer.access_batch(&batch);
+                    batch.clear();
+                    check(analyzer, events)?;
+                }
+            }
+            Event::Enter(scope) => {
+                if !batch.is_empty() {
+                    analyzer.access_batch(&batch);
+                    batch.clear();
+                }
+                analyzer.enter(scope);
+            }
+            Event::Exit(scope) => {
+                if !batch.is_empty() {
+                    analyzer.access_batch(&batch);
+                    batch.clear();
+                }
+                analyzer.exit(scope);
+            }
+        }
+    }
+    if !batch.is_empty() {
+        analyzer.access_batch(&batch);
+    }
+    check(analyzer, events)
+}
+
+/// One grain's replay, panic-isolated. Runs on the grain's own thread in
+/// the parallel phase and on the caller's thread in the retry pass.
+fn replay_grain(
+    program: &Program,
+    buffer: &TraceBuffer,
+    block_size: u64,
+    opts: &AnalyzeOptions,
+) -> Result<(ReuseProfile, ReplayTiming), GrainError> {
+    let start = Instant::now();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<ReuseProfile, GrainError> {
+        let mut analyzer = ReuseAnalyzer::new(program, block_size);
+        if opts.validate || !opts.budget.is_unlimited() {
+            replay_guarded(buffer, &mut analyzer, &opts.budget)?;
+        } else {
+            buffer.replay(&mut analyzer);
+        }
+        Ok(analyzer.finish())
+    }));
+    match outcome {
+        Ok(Ok(profile)) => Ok((
+            profile,
+            ReplayTiming {
+                block_size,
+                wall: start.elapsed(),
+            },
+        )),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(GrainError::Panicked(panic_message(payload.as_ref()))),
+    }
+}
+
+/// The fault-tolerant replay engine: one fresh [`ReuseAnalyzer`] per block
+/// size, each replaying the shared buffer on its own thread **under panic
+/// isolation**. Grains that fail — by panic, decode rejection, or budget
+/// exhaustion — are reported in the returned [`PartialAnalysis`] without
+/// disturbing their siblings; panicked grains get one sequential retry
+/// first (when [`AnalyzeOptions::retry`] is set).
+///
+/// With default options the replay takes the same unchecked fast path as
+/// [`TraceBuffer::replay`]; setting a budget or
+/// [`AnalyzeOptions::validate`] routes it through the validating decoder.
+pub fn analyze_buffer_with(
+    program: &Program,
+    buffer: &TraceBuffer,
+    block_sizes: &[u64],
+    opts: &AnalyzeOptions,
+) -> PartialAnalysis {
+    let outcomes: Vec<Result<(ReuseProfile, ReplayTiming), GrainError>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = block_sizes
+                .iter()
+                .map(|&block_size| s.spawn(move || replay_grain(program, buffer, block_size, opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    // `replay_grain` catches panics itself; this arm is a
+                    // backstop for panics outside the catch (e.g. in the
+                    // timing code).
+                    Err(payload) => Err(GrainError::Panicked(panic_message(payload.as_ref()))),
+                })
+                .collect()
+        });
+    let mut profiles = Vec::new();
+    let mut replays = Vec::new();
+    let mut failures = Vec::new();
+    for (&block_size, outcome) in block_sizes.iter().zip(outcomes) {
+        let outcome = match outcome {
+            // A panicked grain gets one sequential retry on an otherwise
+            // idle machine; decode and budget failures are deterministic,
+            // so retrying them would only repeat the work.
+            Err(GrainError::Panicked(_)) if opts.retry => {
+                replay_grain(program, buffer, block_size, opts).map_err(|e| (e, true))
+            }
+            other => other.map_err(|e| (e, false)),
+        };
+        match outcome {
+            Ok((profile, timing)) => {
+                profiles.push(profile);
+                replays.push(timing);
+            }
+            Err((error, retried)) => failures.push(FailureReport {
+                block_size,
+                error,
+                retried,
+            }),
+        }
+    }
+    PartialAnalysis {
+        profiles,
+        replays,
+        failures,
+    }
+}
+
 /// Replays a captured buffer through one fresh [`ReuseAnalyzer`] per block
 /// size, each on its own thread, and returns the profiles in request order
 /// together with per-thread timings.
+///
+/// This is the strict form: any grain failure is returned as an error
+/// (after all threads have been joined — a failing grain never aborts the
+/// process or poisons its siblings). Use [`analyze_buffer_with`] to keep
+/// the healthy grains' results instead.
+///
+/// # Errors
+///
+/// Returns the first grain failure as an [`AnalysisError`].
 pub fn analyze_buffer(
     program: &Program,
     buffer: &TraceBuffer,
     block_sizes: &[u64],
-) -> (Vec<ReuseProfile>, Vec<ReplayTiming>) {
-    let outcomes = std::thread::scope(|s| {
-        let handles: Vec<_> = block_sizes
-            .iter()
-            .map(|&block_size| {
-                s.spawn(move || {
-                    let start = Instant::now();
-                    let mut analyzer = ReuseAnalyzer::new(program, block_size);
-                    buffer.replay(&mut analyzer);
-                    let wall = start.elapsed();
-                    (analyzer.finish(), ReplayTiming { block_size, wall })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replay thread panicked"))
-            .collect::<Vec<_>>()
-    });
-    outcomes.into_iter().unzip()
+) -> Result<(Vec<ReuseProfile>, Vec<ReplayTiming>), AnalysisError> {
+    analyze_buffer_with(program, buffer, block_sizes, &AnalyzeOptions::default()).into_strict()
 }
 
 /// Capture-once / replay-many variant of [`analyze_program`]: interprets
@@ -161,7 +538,8 @@ pub fn analyze_buffer(
 ///
 /// # Errors
 ///
-/// Propagates any [`ExecError`] from the capture run.
+/// Propagates any [`ExecError`] from the capture run, and any grain
+/// failure from the replay phase as an [`AnalysisError`].
 ///
 /// # Examples
 ///
@@ -184,17 +562,17 @@ pub fn analyze_buffer(
 /// assert_eq!(par.profiles, online.profiles);
 /// assert_eq!(stats.replays.len(), 2);
 /// assert!(stats.buffer.encoded_bytes < stats.buffer.raw_bytes);
-/// # Ok::<(), reuselens_trace::ExecError>(())
+/// # Ok::<(), reuselens_core::AnalysisError>(())
 /// ```
 pub fn analyze_program_parallel(
     program: &Program,
     block_sizes: &[u64],
     index_arrays: Vec<(ArrayId, Vec<i64>)>,
-) -> Result<(AnalysisResult, AnalysisStats), ExecError> {
+) -> Result<(AnalysisResult, AnalysisStats), AnalysisError> {
     let start = Instant::now();
     let (buffer, report) = capture_program(program, index_arrays)?;
     let capture_wall = start.elapsed();
-    let (profiles, replays) = analyze_buffer(program, &buffer, block_sizes);
+    let (profiles, replays) = analyze_buffer(program, &buffer, block_sizes)?;
     Ok((
         AnalysisResult {
             profiles,
@@ -206,6 +584,34 @@ pub fn analyze_program_parallel(
             replays,
         },
     ))
+}
+
+/// The degrading form of [`analyze_program_parallel`]: capture once, then
+/// replay every grain under panic isolation with the given options,
+/// returning whatever survived as a [`PartialAnalysis`] plus the capture
+/// report and statistics.
+///
+/// # Errors
+///
+/// Only the capture run can fail the whole call (there is nothing to
+/// replay without a trace); per-grain replay failures are reported inside
+/// the [`PartialAnalysis`].
+pub fn analyze_program_degraded(
+    program: &Program,
+    block_sizes: &[u64],
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+    opts: &AnalyzeOptions,
+) -> Result<(PartialAnalysis, ExecReport, AnalysisStats), ExecError> {
+    let start = Instant::now();
+    let (buffer, report) = capture_program(program, index_arrays)?;
+    let capture_wall = start.elapsed();
+    let partial = analyze_buffer_with(program, &buffer, block_sizes, opts);
+    let stats = AnalysisStats {
+        capture_wall,
+        buffer: buffer.stats(),
+        replays: partial.replays.clone(),
+    };
+    Ok((partial, report, stats))
 }
 
 #[cfg(test)]
@@ -293,7 +699,7 @@ mod tests {
         let prog = p.finish();
         let (buffer, report) = capture_program(&prog, vec![]).unwrap();
         assert_eq!(buffer.accesses(), report.accesses);
-        let (profiles, timings) = analyze_buffer(&prog, &buffer, &[64, 4096]);
+        let (profiles, timings) = analyze_buffer(&prog, &buffer, &[64, 4096]).unwrap();
         let online = analyze_program(&prog, &[64, 4096], vec![]).unwrap();
         assert_eq!(profiles, online.profiles);
         assert_eq!(timings.len(), 2);
@@ -309,5 +715,32 @@ mod tests {
         });
         let prog = p.finish();
         assert!(analyze_program(&prog, &[64], vec![]).is_err());
+    }
+
+    #[test]
+    fn guarded_replay_matches_fast_path_bit_for_bit() {
+        let mut p = ProgramBuilder::new("guarded");
+        let a = p.array("a", 8, &[512]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 2, |r, _| {
+                r.for_("i", 0, 511, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+        let fast = analyze_buffer(&prog, &buffer, &[64, 4096]).unwrap().0;
+        let validated = analyze_buffer_with(
+            &prog,
+            &buffer,
+            &[64, 4096],
+            &AnalyzeOptions {
+                validate: true,
+                ..AnalyzeOptions::default()
+            },
+        );
+        assert!(validated.is_complete());
+        assert_eq!(validated.profiles, fast);
     }
 }

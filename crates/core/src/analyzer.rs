@@ -153,6 +153,16 @@ impl ReuseAnalyzer {
         self.clock
     }
 
+    /// Distinct blocks entered into the block table so far.
+    pub fn distinct_blocks(&self) -> u64 {
+        self.table.distinct_blocks()
+    }
+
+    /// Current size of the order-statistic tree (one node per live block).
+    pub fn tree_nodes(&self) -> usize {
+        self.tree.len()
+    }
+
     /// Consumes the analyzer and produces the measured profile.
     pub fn finish(self) -> ReuseProfile {
         let mut patterns = Vec::new();

@@ -29,10 +29,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod analyze;
 mod analyzer;
 mod blocktable;
+mod budget;
 mod context;
 mod histogram;
 pub mod oracle;
@@ -43,10 +45,12 @@ mod serialize;
 mod spatial;
 
 pub use analyze::{
-    analyze_buffer, analyze_program, analyze_program_parallel, capture_program, AnalysisResult,
-    AnalysisStats, ReplayTiming,
+    analyze_buffer, analyze_buffer_with, analyze_program, analyze_program_degraded,
+    analyze_program_parallel, capture_program, AnalysisError, AnalysisResult, AnalysisStats,
+    AnalyzeOptions, FailureReport, GrainError, PartialAnalysis, ReplayTiming,
 };
 pub use analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
+pub use budget::{AnalysisBudget, BudgetExceeded, BudgetLimit, BudgetProgress};
 pub use blocktable::{BlockEntry, BlockTable, MAX_BLOCKS};
 pub use context::{ContextAnalyzer, ContextId, ContextProfile, CtxPattern, CtxPatternKey};
 pub use histogram::Histogram;

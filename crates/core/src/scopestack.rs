@@ -61,10 +61,10 @@ impl ScopeStack {
     /// Panics if the popped scope does not match `scope` (unbalanced
     /// enter/exit events) or only the root remains.
     pub fn exit(&mut self, scope: ScopeId) {
-        let (top, _) = self
-            .entries
-            .pop()
-            .expect("scope stack underflow");
+        let top = match self.entries.pop() {
+            Some((top, _)) => top,
+            None => panic!("scope stack underflow"),
+        };
         assert_eq!(top, scope, "unbalanced scope exit");
         assert!(!self.entries.is_empty(), "program root popped");
     }
@@ -76,7 +76,10 @@ impl ScopeStack {
 
     /// The innermost active scope.
     pub fn current(&self) -> ScopeId {
-        self.entries.last().expect("stack never empty").0
+        match self.entries.last() {
+            Some(&(scope, _)) => scope,
+            None => panic!("stack never empty"),
+        }
     }
 
     /// The scope carrying a reuse whose previous access happened at logical

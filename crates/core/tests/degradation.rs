@@ -1,0 +1,240 @@
+//! Graceful-degradation suite for the fault-tolerant replay engine:
+//! a panicking, budget-tripping, or corrupted grain must never take its
+//! sibling grains down, and every failure must come back as a structured
+//! report rather than a process abort.
+
+use reuselens_core::{
+    analyze_buffer, analyze_buffer_with, analyze_program, analyze_program_degraded,
+    capture_program, AnalysisBudget, AnalysisError, AnalyzeOptions, BudgetLimit, GrainError,
+};
+use reuselens_ir::{Program, ProgramBuilder};
+use reuselens_trace::fault::Corruptor;
+
+/// A two-sweep streaming workload: enough footprint to exercise the block
+/// table and tree, deterministic shape for bit-identical comparisons.
+fn workload(elems: u64) -> Program {
+    let mut p = ProgramBuilder::new("stream");
+    let a = p.array("a", 8, &[elems]);
+    p.routine("main", |r| {
+        r.for_("t", 0, 1, |r, _| {
+            r.for_("i", 0, (elems - 1) as i64, |r, i| {
+                r.load(a, vec![i.into()]);
+            });
+        });
+    });
+    p.finish()
+}
+
+/// A block size of 0 is not a power of two, so `ReuseAnalyzer::new`
+/// panics deterministically inside that grain's replay thread — the
+/// injection vector for grain-level panics.
+const PANICKING_GRAIN: u64 = 0;
+
+/// One panicking grain among healthy ones: the survivors' profiles are
+/// bit-identical to a fully healthy run, and the failure report names the
+/// dead grain with its panic message and the retry flag set.
+#[test]
+fn single_grain_panic_leaves_siblings_bit_identical() {
+    let prog = workload(2048);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let grains = [64u64, PANICKING_GRAIN, 4096];
+    let partial = analyze_buffer_with(&prog, &buffer, &grains, &AnalyzeOptions::default());
+
+    assert!(!partial.is_complete());
+    assert_eq!(partial.profiles.len(), 2);
+    assert_eq!(partial.failures.len(), 1);
+
+    // Survivors match the online pipeline exactly.
+    let online = analyze_program(&prog, &[64, 4096], vec![]).unwrap();
+    assert_eq!(partial.profile_at(64), online.profile_at(64));
+    assert_eq!(partial.profile_at(4096), online.profile_at(4096));
+    assert_eq!(partial.replays.len(), 2);
+    assert_eq!(partial.replays[0].block_size, 64);
+    assert_eq!(partial.replays[1].block_size, 4096);
+
+    // The failure report is fully populated.
+    let failure = partial.failure_at(PANICKING_GRAIN).unwrap();
+    assert!(failure.retried, "panicked grains get one sequential retry");
+    match &failure.error {
+        GrainError::Panicked(msg) => {
+            assert!(msg.contains("power of two"), "unexpected message: {msg}")
+        }
+        other => panic!("expected a panic report, got {other}"),
+    }
+    assert!(failure.to_string().contains("after retry"));
+    assert!(partial.failure_at(64).is_none());
+}
+
+/// The strict entry point surfaces the same failure as a typed error —
+/// after joining every thread, not by aborting the process.
+#[test]
+fn strict_analyze_buffer_returns_grain_panicked() {
+    let prog = workload(512);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let err = analyze_buffer(&prog, &buffer, &[64, PANICKING_GRAIN]).unwrap_err();
+    match err {
+        AnalysisError::GrainPanicked {
+            block_size,
+            message,
+        } => {
+            assert_eq!(block_size, PANICKING_GRAIN);
+            assert!(message.contains("power of two"));
+        }
+        other => panic!("expected GrainPanicked, got {other}"),
+    }
+}
+
+/// Retries can be disabled; the report then records that none happened.
+#[test]
+fn retry_can_be_disabled() {
+    let prog = workload(256);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let opts = AnalyzeOptions {
+        retry: false,
+        ..AnalyzeOptions::default()
+    };
+    let partial = analyze_buffer_with(&prog, &buffer, &[PANICKING_GRAIN], &opts);
+    let failure = partial.failure_at(PANICKING_GRAIN).unwrap();
+    assert!(!failure.retried);
+}
+
+/// Each budget axis trips with progress counters populated; the decode,
+/// block-table, and tree footprints at abandonment are all reported.
+#[test]
+fn budgets_trip_with_progress_counters() {
+    let prog = workload(4096); // 8192 accesses, 512 lines at 64 B
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+
+    let cases = [
+        (AnalysisBudget::unlimited().with_max_events(100), BudgetLimit::Events),
+        (
+            AnalysisBudget::unlimited().with_max_distinct_blocks(10),
+            BudgetLimit::DistinctBlocks,
+        ),
+        (
+            AnalysisBudget::unlimited().with_max_tree_nodes(10),
+            BudgetLimit::TreeNodes,
+        ),
+    ];
+    for (budget, want_limit) in cases {
+        let opts = AnalyzeOptions {
+            budget,
+            ..AnalyzeOptions::default()
+        };
+        let partial = analyze_buffer_with(&prog, &buffer, &[64], &opts);
+        let failure = partial.failure_at(64).expect("budget must trip");
+        assert!(!failure.retried, "budget failures are deterministic, not retried");
+        match &failure.error {
+            GrainError::Budget(e) => {
+                assert_eq!(e.limit, want_limit);
+                assert!(e.progress.events > 0);
+                assert!(e.progress.distinct_blocks > 0);
+                assert!(e.progress.tree_nodes > 0);
+            }
+            other => panic!("expected a budget report, got {other}"),
+        }
+    }
+}
+
+/// A budget generous enough never trips, and the budgeted (validated)
+/// replay path produces bit-identical profiles to the unchecked fast path.
+#[test]
+fn generous_budget_matches_fast_path() {
+    let prog = workload(2048);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let fast = analyze_buffer(&prog, &buffer, &[64, 4096]).unwrap().0;
+    let opts = AnalyzeOptions {
+        budget: AnalysisBudget::unlimited()
+            .with_max_events(1 << 40)
+            .with_max_distinct_blocks(1 << 40)
+            .with_max_tree_nodes(1 << 40),
+        ..AnalyzeOptions::default()
+    };
+    let partial = analyze_buffer_with(&prog, &buffer, &[64, 4096], &opts);
+    assert!(partial.is_complete());
+    assert_eq!(partial.profiles, fast);
+}
+
+/// A corrupted buffer under `validate` fails with a decode report in
+/// every grain — never a panic — and deterministic failures skip the
+/// retry pass.
+#[test]
+fn corrupted_buffer_with_validation_reports_decode_errors() {
+    let prog = workload(1024);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let mut corruptor = Corruptor::new(0xbad_cafe);
+    let corrupted = corruptor.truncate(&buffer);
+    let opts = AnalyzeOptions {
+        validate: true,
+        ..AnalyzeOptions::default()
+    };
+    let partial = analyze_buffer_with(&prog, &corrupted, &[64, 4096], &opts);
+    assert!(partial.profiles.is_empty());
+    assert_eq!(partial.failures.len(), 2);
+    for failure in &partial.failures {
+        assert!(
+            matches!(failure.error, GrainError::Decode(_)),
+            "expected decode failure, got {}",
+            failure.error
+        );
+        assert!(!failure.retried);
+    }
+}
+
+/// Without validation a grain panic caused by a hostile consumer is still
+/// isolated — here both failure modes mix in one request: a dead grain, a
+/// budget-limited grain, and a healthy one.
+#[test]
+fn mixed_failure_modes_in_one_request() {
+    let prog = workload(2048);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let opts = AnalyzeOptions {
+        budget: AnalysisBudget::unlimited().with_max_events(64),
+        ..AnalyzeOptions::default()
+    };
+    // Grain 0 panics; the others trip the tiny event budget.
+    let partial = analyze_buffer_with(&prog, &buffer, &[64, PANICKING_GRAIN], &opts);
+    assert_eq!(partial.failures.len(), 2);
+    assert!(matches!(
+        partial.failure_at(PANICKING_GRAIN).unwrap().error,
+        GrainError::Panicked(_)
+    ));
+    assert!(matches!(
+        partial.failure_at(64).unwrap().error,
+        GrainError::Budget(_)
+    ));
+}
+
+/// The one-call degraded pipeline: capture + isolated replay + stats.
+#[test]
+fn analyze_program_degraded_end_to_end() {
+    let prog = workload(1024);
+    let grains = [64u64, PANICKING_GRAIN, 4096];
+    let (partial, report, stats) =
+        analyze_program_degraded(&prog, &grains, vec![], &AnalyzeOptions::default()).unwrap();
+    assert_eq!(report.accesses, 2 * 1024);
+    assert_eq!(partial.profiles.len(), 2);
+    assert_eq!(partial.failures.len(), 1);
+    assert_eq!(stats.replays.len(), 2, "timings cover surviving grains only");
+    assert_eq!(stats.buffer.accesses, report.accesses);
+}
+
+/// `into_strict` converts failures into the typed error taxonomy.
+#[test]
+fn into_strict_maps_each_failure_kind() {
+    let prog = workload(512);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let opts = AnalyzeOptions {
+        budget: AnalysisBudget::unlimited().with_max_events(10),
+        ..AnalyzeOptions::default()
+    };
+    let err = analyze_buffer_with(&prog, &buffer, &[64], &opts)
+        .into_strict()
+        .unwrap_err();
+    assert!(matches!(err, AnalysisError::Budget(_)));
+
+    let ok = analyze_buffer_with(&prog, &buffer, &[64], &AnalyzeOptions::default())
+        .into_strict()
+        .unwrap();
+    assert_eq!(ok.0.len(), 1);
+}

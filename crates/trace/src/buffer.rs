@@ -27,6 +27,7 @@
 //! `Vec<Event>`; [`BufferStats::compression_ratio`] reports the measured
 //! figure.
 
+use crate::decode::{try_varint, Column, DecodeError};
 use crate::event::{AccessRecord, Event, TraceSink};
 use reuselens_ir::{AccessKind, RefId, ScopeId};
 
@@ -152,17 +153,17 @@ impl std::fmt::Display for BufferStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TraceBuffer {
-    ops: Vec<u8>,
-    events: u64,
-    accesses: u64,
-    scope_events: u64,
-    addr_bytes: Vec<u8>,
-    ref_bytes: Vec<u8>,
-    size_bytes: Vec<u8>,
-    scope_bytes: Vec<u8>,
+    pub(crate) ops: Vec<u8>,
+    pub(crate) events: u64,
+    pub(crate) accesses: u64,
+    pub(crate) scope_events: u64,
+    pub(crate) addr_bytes: Vec<u8>,
+    pub(crate) ref_bytes: Vec<u8>,
+    pub(crate) size_bytes: Vec<u8>,
+    pub(crate) scope_bytes: Vec<u8>,
     // Encoder state (deltas are relative to the previous access).
-    last_addr: u64,
-    last_ref: u32,
+    pub(crate) last_addr: u64,
+    pub(crate) last_ref: u32,
 }
 
 impl TraceBuffer {
@@ -209,10 +210,9 @@ impl TraceBuffer {
     #[inline]
     fn push_op(&mut self, op: u8) {
         let slot = (self.events % 4) as u32 * 2;
-        if slot == 0 {
-            self.ops.push(op);
-        } else {
-            *self.ops.last_mut().expect("op byte exists") |= op << slot;
+        match self.ops.last_mut() {
+            Some(last) if slot != 0 => *last |= op << slot,
+            _ => self.ops.push(op),
         }
         self.events += 1;
     }
@@ -267,6 +267,81 @@ impl TraceBuffer {
         }
     }
 
+    /// Replays the captured stream into `sink` through the **validating**
+    /// decoder: every event is checked (truncation, malformed varints,
+    /// field ranges, scope balance, trailing bytes) *before* it reaches the
+    /// sink, and any malformation is reported as a [`DecodeError`] with
+    /// byte-offset diagnostics instead of panicking or emitting garbage.
+    ///
+    /// Use this for buffers of untrusted provenance; [`replay`](Self::replay)
+    /// remains the unchecked fast path for buffers this process captured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformation found. The sink will already have
+    /// observed the valid prefix of the stream — callers that need
+    /// all-or-nothing semantics should [`validate`](Self::validate) first
+    /// or discard the sink on error.
+    pub fn try_replay<S: TraceSink + ?Sized>(&self, sink: &mut S) -> Result<(), DecodeError> {
+        let mut batch: Vec<AccessRecord> = Vec::with_capacity(BATCH);
+        let mut dec = Decoder::new(self)?;
+        while let Some(event) = dec.next_event()? {
+            match event {
+                Event::Access { r, addr, size, kind } => {
+                    batch.push(AccessRecord { r, addr, size, kind });
+                    if batch.len() == BATCH {
+                        sink.access_batch(&batch);
+                        batch.clear();
+                    }
+                }
+                Event::Enter(scope) => {
+                    if !batch.is_empty() {
+                        sink.access_batch(&batch);
+                        batch.clear();
+                    }
+                    sink.enter(scope);
+                }
+                Event::Exit(scope) => {
+                    if !batch.is_empty() {
+                        sink.access_batch(&batch);
+                        batch.clear();
+                    }
+                    sink.exit(scope);
+                }
+            }
+        }
+        if !batch.is_empty() {
+            sink.access_batch(&batch);
+        }
+        dec.finish()
+    }
+
+    /// Checks the full encoding without producing events: decodes every
+    /// event through the validating decoder and verifies scope balance and
+    /// exact column consumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformation found; `Ok(())` guarantees that
+    /// [`replay`](Self::replay) and [`iter`](Self::iter) will decode this
+    /// buffer without panicking and will reproduce a well-formed stream.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        let mut dec = Decoder::new(self)?;
+        while dec.next_event()?.is_some() {}
+        dec.finish()
+    }
+
+    /// Iterates over the captured stream through the validating decoder,
+    /// yielding `Err` (and then ending) at the first malformation. The
+    /// final item also covers end-of-stream checks (unclosed scopes,
+    /// trailing bytes).
+    pub fn try_iter(&self) -> CheckedIter<'_> {
+        CheckedIter {
+            dec: Decoder::new(self),
+            done: false,
+        }
+    }
+
     /// Iterates over the captured stream as decoded [`Event`]s.
     pub fn iter(&self) -> TraceIter<'_> {
         TraceIter {
@@ -308,6 +383,176 @@ impl TraceSink for TraceBuffer {
         self.push_op(OP_EXIT);
         self.scope_events += 1;
         put_varint(&mut self.scope_bytes, u64::from(scope.0));
+    }
+}
+
+/// The validating decoder behind [`TraceBuffer::try_replay`],
+/// [`TraceBuffer::validate`] and [`TraceBuffer::try_iter`].
+#[derive(Debug, Clone)]
+struct Decoder<'b> {
+    buf: &'b TraceBuffer,
+    next: u64,
+    addr: u64,
+    r: u32,
+    addr_pos: usize,
+    ref_pos: usize,
+    size_pos: usize,
+    scope_pos: usize,
+    open_scopes: Vec<u32>,
+}
+
+impl<'b> Decoder<'b> {
+    fn new(buf: &'b TraceBuffer) -> Result<Decoder<'b>, DecodeError> {
+        // The opcode column must hold exactly the declared number of 2-bit
+        // lanes: ceil(events / 4) bytes.
+        let needed = (buf.events as usize).div_ceil(4);
+        if buf.ops.len() < needed {
+            return Err(DecodeError::Truncated {
+                column: Column::Ops,
+                offset: buf.ops.len(),
+                event: (buf.ops.len() as u64) * 4,
+            });
+        }
+        if buf.ops.len() > needed {
+            return Err(DecodeError::TrailingBytes {
+                column: Column::Ops,
+                consumed: needed,
+                len: buf.ops.len(),
+            });
+        }
+        Ok(Decoder {
+            buf,
+            next: 0,
+            addr: 0,
+            r: 0,
+            addr_pos: 0,
+            ref_pos: 0,
+            size_pos: 0,
+            scope_pos: 0,
+            open_scopes: Vec::new(),
+        })
+    }
+
+    /// Decodes and validates the next event, or returns `None` at the end
+    /// of the declared stream. End-of-stream invariants (scope balance,
+    /// exact column consumption) are checked by [`finish`](Self::finish).
+    fn next_event(&mut self) -> Result<Option<Event>, DecodeError> {
+        if self.next >= self.buf.events {
+            return Ok(None);
+        }
+        let i = self.next;
+        self.next += 1;
+        let op = (self.buf.ops[(i / 4) as usize] >> ((i % 4) * 2)) & 0b11;
+        match op {
+            OP_LOAD | OP_STORE => {
+                let delta =
+                    try_varint(&self.buf.addr_bytes, &mut self.addr_pos, Column::Addr, i)?;
+                self.addr = self.addr.wrapping_add(unzigzag(delta) as u64);
+                let rdelta =
+                    try_varint(&self.buf.ref_bytes, &mut self.ref_pos, Column::Ref, i)?;
+                let r = i64::from(self.r) + unzigzag(rdelta);
+                if r < 0 || r > i64::from(u32::MAX) {
+                    return Err(DecodeError::RefOutOfRange { event: i, value: r });
+                }
+                self.r = r as u32;
+                let size =
+                    try_varint(&self.buf.size_bytes, &mut self.size_pos, Column::Size, i)?;
+                if size > u64::from(u32::MAX) {
+                    return Err(DecodeError::SizeOutOfRange { event: i, value: size });
+                }
+                Ok(Some(Event::Access {
+                    r: RefId(self.r),
+                    addr: self.addr,
+                    size: size as u32,
+                    kind: if op == OP_LOAD {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    },
+                }))
+            }
+            _ => {
+                let scope =
+                    try_varint(&self.buf.scope_bytes, &mut self.scope_pos, Column::Scope, i)?;
+                if scope > u64::from(u32::MAX) {
+                    return Err(DecodeError::ScopeOutOfRange { event: i, value: scope });
+                }
+                let scope = scope as u32;
+                if op == OP_ENTER {
+                    self.open_scopes.push(scope);
+                    Ok(Some(Event::Enter(ScopeId(scope))))
+                } else {
+                    match self.open_scopes.pop() {
+                        Some(top) if top == scope => Ok(Some(Event::Exit(ScopeId(scope)))),
+                        expected => Err(DecodeError::UnbalancedExit {
+                            event: i,
+                            scope,
+                            expected,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-of-stream checks: all scopes closed, every column consumed to
+    /// its last byte.
+    fn finish(&self) -> Result<(), DecodeError> {
+        if !self.open_scopes.is_empty() {
+            return Err(DecodeError::UnclosedScopes {
+                depth: self.open_scopes.len(),
+            });
+        }
+        for (column, consumed, len) in [
+            (Column::Addr, self.addr_pos, self.buf.addr_bytes.len()),
+            (Column::Ref, self.ref_pos, self.buf.ref_bytes.len()),
+            (Column::Size, self.size_pos, self.buf.size_bytes.len()),
+            (Column::Scope, self.scope_pos, self.buf.scope_bytes.len()),
+        ] {
+            if consumed != len {
+                return Err(DecodeError::TrailingBytes { column, consumed, len });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating iterator returned by [`TraceBuffer::try_iter`]: yields each
+/// decoded event, or the first [`DecodeError`] and then ends.
+#[derive(Debug, Clone)]
+pub struct CheckedIter<'b> {
+    dec: Result<Decoder<'b>, DecodeError>,
+    done: bool,
+}
+
+impl Iterator for CheckedIter<'_> {
+    type Item = Result<Event, DecodeError>;
+
+    fn next(&mut self) -> Option<Result<Event, DecodeError>> {
+        if self.done {
+            return None;
+        }
+        let dec = match &mut self.dec {
+            Ok(dec) => dec,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e.clone()));
+            }
+        };
+        match dec.next_event() {
+            Ok(Some(event)) => Some(Ok(event)),
+            Ok(None) => {
+                self.done = true;
+                match dec.finish() {
+                    Ok(()) => None,
+                    Err(e) => Some(Err(e)),
+                }
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 

@@ -1,0 +1,329 @@
+//! Deterministic fault injection for the capture/replay pipeline.
+//!
+//! The failure-path test suites need two ingredients this module provides:
+//!
+//! * **corrupted buffers** — a seeded [`Corruptor`] that bit-flips or
+//!   truncates the encoded columns of a [`TraceBuffer`], plus
+//!   [`truncations`] for exhaustively cutting a small golden buffer at
+//!   every byte boundary, and [`RawColumns`] for forging specific
+//!   malformed encodings by hand;
+//! * **hostile sinks** — [`PanickingSink`] (panics with a string message
+//!   after a configurable number of accesses) and [`FailingSink`] (panics
+//!   with a non-string payload), used to prove that a consumer blowing up
+//!   mid-replay neither poisons the shared buffer nor takes down sibling
+//!   analysis threads.
+//!
+//! Everything is seeded through [`SplitMix64`], so a failing case is
+//! reproducible from its seed alone. The module ships in the library (not
+//! behind `cfg(test)`) so downstream crates' failure suites —
+//! `reuselens-core`'s degradation tests, the workspace fault-tolerance
+//! suite — can drive the same injections.
+
+use crate::buffer::TraceBuffer;
+use crate::decode::Column;
+use crate::event::{AccessRecord, TraceSink};
+use reuselens_ir::{AccessKind, RefId, ScopeId};
+use reuselens_prng::SplitMix64;
+
+/// The encoded columns of a [`TraceBuffer`], exposed for forging malformed
+/// buffers in tests.
+///
+/// Round-trips through [`RawColumns::of`] / [`RawColumns::build`]; mutate
+/// any field in between to craft a specific corruption (oversized varints,
+/// inflated event counts, trailing bytes, ...).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawColumns {
+    /// Declared total event count.
+    pub events: u64,
+    /// Declared access count.
+    pub accesses: u64,
+    /// Declared scope-event count.
+    pub scope_events: u64,
+    /// Packed 2-bit opcodes.
+    pub ops: Vec<u8>,
+    /// Zigzag-varint address deltas.
+    pub addrs: Vec<u8>,
+    /// Zigzag-varint reference-id deltas.
+    pub refs: Vec<u8>,
+    /// Varint access sizes.
+    pub sizes: Vec<u8>,
+    /// Varint scope ids.
+    pub scopes: Vec<u8>,
+}
+
+impl RawColumns {
+    /// Decomposes a buffer into its raw columns.
+    pub fn of(buf: &TraceBuffer) -> RawColumns {
+        RawColumns {
+            events: buf.events,
+            accesses: buf.accesses,
+            scope_events: buf.scope_events,
+            ops: buf.ops.clone(),
+            addrs: buf.addr_bytes.clone(),
+            refs: buf.ref_bytes.clone(),
+            sizes: buf.size_bytes.clone(),
+            scopes: buf.scope_bytes.clone(),
+        }
+    }
+
+    /// Reassembles a buffer — possibly malformed — from raw columns.
+    pub fn build(self) -> TraceBuffer {
+        TraceBuffer {
+            ops: self.ops,
+            events: self.events,
+            accesses: self.accesses,
+            scope_events: self.scope_events,
+            addr_bytes: self.addrs,
+            ref_bytes: self.refs,
+            size_bytes: self.sizes,
+            scope_bytes: self.scopes,
+            last_addr: 0,
+            last_ref: 0,
+        }
+    }
+
+    fn column(&self, c: Column) -> &[u8] {
+        match c {
+            Column::Ops => &self.ops,
+            Column::Addr => &self.addrs,
+            Column::Ref => &self.refs,
+            Column::Size => &self.sizes,
+            Column::Scope => &self.scopes,
+        }
+    }
+
+    fn column_mut(&mut self, c: Column) -> &mut Vec<u8> {
+        match c {
+            Column::Ops => &mut self.ops,
+            Column::Addr => &mut self.addrs,
+            Column::Ref => &mut self.refs,
+            Column::Size => &mut self.sizes,
+            Column::Scope => &mut self.scopes,
+        }
+    }
+}
+
+const COLUMNS: [Column; 5] = [
+    Column::Ops,
+    Column::Addr,
+    Column::Ref,
+    Column::Size,
+    Column::Scope,
+];
+
+/// A seeded buffer corruptor. Every method is deterministic in the seed
+/// and the call sequence, so any failure it provokes can be replayed.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    rng: SplitMix64,
+}
+
+impl Corruptor {
+    /// Creates a corruptor from a seed.
+    pub fn new(seed: u64) -> Corruptor {
+        Corruptor {
+            rng: SplitMix64::seed_from_u64(seed),
+        }
+    }
+
+    /// Picks a non-empty column, or `None` when every column is empty.
+    fn pick_column(&mut self, raw: &RawColumns) -> Option<Column> {
+        let nonempty: Vec<Column> = COLUMNS
+            .into_iter()
+            .filter(|&c| !raw.column(c).is_empty())
+            .collect();
+        if nonempty.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..nonempty.len() as u64) as usize;
+        Some(nonempty[i])
+    }
+
+    /// Returns a copy of `buf` with one random bit flipped in one random
+    /// non-empty encoded column. An empty buffer is returned unchanged.
+    ///
+    /// Note that a single bit flip does not always make the encoding
+    /// invalid — flipping a size bit, say, yields a *different* valid
+    /// stream. The guarantee under test is "never panics", not
+    /// "always errors".
+    pub fn bit_flip(&mut self, buf: &TraceBuffer) -> TraceBuffer {
+        let mut raw = RawColumns::of(buf);
+        if let Some(c) = self.pick_column(&raw) {
+            let col = raw.column_mut(c);
+            let byte = self.rng.gen_range(0..col.len() as u64) as usize;
+            let bit = self.rng.gen_range(0..8) as u8;
+            col[byte] ^= 1 << bit;
+        }
+        raw.build()
+    }
+
+    /// Returns a copy of `buf` with `n` random bit flips (possibly landing
+    /// on the same bit, which un-flips it).
+    pub fn bit_flips(&mut self, buf: &TraceBuffer, n: usize) -> TraceBuffer {
+        let mut out = buf.clone();
+        for _ in 0..n {
+            out = self.bit_flip(&out);
+        }
+        out
+    }
+
+    /// Returns a copy of `buf` with one random non-empty column truncated
+    /// to a strictly shorter random length. An empty buffer is returned
+    /// unchanged. The result never validates (some event's bytes are gone).
+    pub fn truncate(&mut self, buf: &TraceBuffer) -> TraceBuffer {
+        let mut raw = RawColumns::of(buf);
+        if let Some(c) = self.pick_column(&raw) {
+            let col = raw.column_mut(c);
+            let keep = self.rng.gen_range(0..col.len() as u64) as usize;
+            col.truncate(keep);
+        }
+        raw.build()
+    }
+
+    /// Returns a copy of `buf` claiming `extra` more events than are
+    /// encoded — a count/payload mismatch the validator must catch.
+    pub fn inflate_events(&mut self, buf: &TraceBuffer, extra: u64) -> TraceBuffer {
+        let mut raw = RawColumns::of(buf);
+        raw.events += extra;
+        raw.build()
+    }
+}
+
+/// Every proper truncation of every non-empty column of `buf`: for a
+/// column of `n` bytes, the copies keeping `0..n` bytes. Exhaustive over a
+/// small golden buffer, this covers truncation at every byte boundary.
+/// Each returned copy fails validation by construction.
+pub fn truncations(buf: &TraceBuffer) -> Vec<TraceBuffer> {
+    let base = RawColumns::of(buf);
+    let mut out = Vec::new();
+    for c in COLUMNS {
+        for keep in 0..base.column(c).len() {
+            let mut raw = base.clone();
+            raw.column_mut(c).truncate(keep);
+            out.push(raw.build());
+        }
+    }
+    out
+}
+
+/// A sink that panics (with a string message) once it has seen more than
+/// `fail_after` accesses. `fail_after == 0` panics on the first access.
+#[derive(Debug, Clone, Default)]
+pub struct PanickingSink {
+    /// Accesses to accept before panicking.
+    pub fail_after: u64,
+    seen: u64,
+}
+
+impl PanickingSink {
+    /// Creates a sink that accepts `fail_after` accesses, then panics.
+    pub fn new(fail_after: u64) -> PanickingSink {
+        PanickingSink {
+            fail_after,
+            seen: 0,
+        }
+    }
+
+    /// Accesses observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for PanickingSink {
+    fn access(&mut self, _r: RefId, _addr: u64, _size: u32, _kind: AccessKind) {
+        if self.seen >= self.fail_after {
+            panic!("injected sink panic after {} accesses", self.seen);
+        }
+        self.seen += 1;
+    }
+    fn enter(&mut self, _scope: ScopeId) {}
+    fn exit(&mut self, _scope: ScopeId) {}
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        for a in batch {
+            self.access(a.r, a.addr, a.size, a.kind);
+        }
+    }
+}
+
+/// A sink whose first access panics with a **non-string payload**,
+/// exercising the "opaque panic payload" branch of failure reporting
+/// (`catch_unwind` callers cannot downcast it to a message).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailingSink;
+
+impl TraceSink for FailingSink {
+    fn access(&mut self, _r: RefId, _addr: u64, _size: u32, _kind: AccessKind) {
+        std::panic::panic_any(0xdead_beef_u64);
+    }
+    fn enter(&mut self, _scope: ScopeId) {}
+    fn exit(&mut self, _scope: ScopeId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::VecSink;
+
+    fn golden() -> TraceBuffer {
+        let mut buf = TraceBuffer::new();
+        buf.enter(ScopeId(1));
+        for i in 0..40u64 {
+            buf.access(RefId((i % 3) as u32), 0x1000 + i * 16, 8, AccessKind::Load);
+        }
+        buf.exit(ScopeId(1));
+        buf
+    }
+
+    #[test]
+    fn raw_columns_round_trip() {
+        let buf = golden();
+        let again = RawColumns::of(&buf).build();
+        let mut a = VecSink::new();
+        let mut b = VecSink::new();
+        buf.replay(&mut a);
+        again.try_replay(&mut b).expect("round trip validates");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruptor_is_deterministic_in_the_seed() {
+        let buf = golden();
+        let a = Corruptor::new(7).bit_flips(&buf, 4);
+        let b = Corruptor::new(7).bit_flips(&buf, 4);
+        assert_eq!(RawColumns::of(&a), RawColumns::of(&b));
+        let c = Corruptor::new(8).bit_flips(&buf, 4);
+        assert_ne!(RawColumns::of(&a), RawColumns::of(&c));
+    }
+
+    #[test]
+    fn truncate_and_inflate_fail_validation() {
+        let buf = golden();
+        let mut c = Corruptor::new(1);
+        for _ in 0..20 {
+            assert!(c.truncate(&buf).validate().is_err());
+        }
+        assert!(c.inflate_events(&buf, 3).validate().is_err());
+    }
+
+    #[test]
+    fn empty_buffer_survives_corruption_attempts() {
+        let empty = TraceBuffer::new();
+        let mut c = Corruptor::new(5);
+        assert!(c.bit_flip(&empty).validate().is_ok());
+        assert!(c.truncate(&empty).validate().is_ok());
+    }
+
+    #[test]
+    fn panicking_sink_counts_then_panics() {
+        let buf = golden();
+        let mut ok = PanickingSink::new(1000);
+        buf.replay(&mut ok);
+        assert_eq!(ok.seen(), 40);
+        let hit = std::panic::catch_unwind(|| {
+            let mut s = PanickingSink::new(5);
+            buf.replay(&mut s);
+        });
+        assert!(hit.is_err());
+    }
+}

@@ -34,11 +34,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod buffer;
+mod decode;
 mod event;
 mod exec;
+pub mod fault;
 
-pub use buffer::{BufferStats, TraceBuffer, TraceIter};
+pub use buffer::{BufferStats, CheckedIter, TraceBuffer, TraceIter};
+pub use decode::{Column, DecodeError};
 pub use event::{AccessRecord, Event, NullSink, TeeSink, TraceSink, VecSink};
 pub use exec::{ExecError, ExecReport, Executor, LoopStats};

@@ -1,0 +1,347 @@
+//! Decoder-hardening suite: no corrupted, truncated, or forged
+//! [`TraceBuffer`] may panic the validating decoder — every malformed
+//! input must surface as a structured [`DecodeError`], and every valid
+//! input must replay bit-identically to the unchecked fast path.
+//!
+//! All corruption is seeded through the deterministic fault-injection
+//! harness (`reuselens_trace::fault`), so any failure here reproduces
+//! from the constants in this file.
+
+use reuselens_trace::fault::{truncations, Corruptor, PanickingSink, RawColumns};
+use reuselens_trace::{Column, DecodeError, TraceBuffer, TraceSink, VecSink};
+use reuselens_ir::{AccessKind, RefId, ScopeId};
+use reuselens_prng::SplitMix64;
+
+/// A small golden buffer with every event kind: nested scopes, loads and
+/// stores from several references, forward and backward address deltas.
+fn golden() -> TraceBuffer {
+    let mut buf = TraceBuffer::new();
+    buf.enter(ScopeId(1));
+    buf.enter(ScopeId(2));
+    for i in 0..24u64 {
+        let kind = if i % 3 == 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        // Alternate between two regions so address deltas change sign.
+        let addr = if i % 2 == 0 {
+            0x1_0000 + i * 8
+        } else {
+            0x9_0000 - i * 128
+        };
+        buf.access(RefId((i % 4) as u32), addr, 8, kind);
+    }
+    buf.exit(ScopeId(2));
+    buf.enter(ScopeId(3));
+    buf.access(RefId(0), 0x42, 4, AccessKind::Load);
+    buf.exit(ScopeId(3));
+    buf.exit(ScopeId(1));
+    buf
+}
+
+/// A random balanced event stream, deterministic in the seed.
+fn random_buffer(seed: u64, events: usize) -> TraceBuffer {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut buf = TraceBuffer::new();
+    let mut open: Vec<u32> = Vec::new();
+    for _ in 0..events {
+        match rng.gen_range(0..10) {
+            0 if open.len() < 8 => {
+                let s = rng.gen_range(1..100) as u32;
+                open.push(s);
+                buf.enter(ScopeId(s));
+            }
+            1 if !open.is_empty() => {
+                let s = open.pop().unwrap();
+                buf.exit(ScopeId(s));
+            }
+            _ => {
+                let r = RefId(rng.gen_range(0..16) as u32);
+                let addr = rng.gen_range(0..1 << 40);
+                let size = 1 << rng.gen_range(0..4);
+                let kind = if rng.gen_range(0..2) == 0 {
+                    AccessKind::Load
+                } else {
+                    AccessKind::Store
+                };
+                buf.access(r, addr, size as u32, kind);
+            }
+        }
+    }
+    while let Some(s) = open.pop() {
+        buf.exit(ScopeId(s));
+    }
+    buf
+}
+
+/// Replays `buf` through `try_replay` and asserts the event stream equals
+/// the unchecked fast path's.
+fn assert_checked_matches_unchecked(buf: &TraceBuffer) {
+    let mut fast = VecSink::new();
+    buf.replay(&mut fast);
+    let mut checked = VecSink::new();
+    buf.try_replay(&mut checked)
+        .expect("a buffer that replays must validate");
+    assert_eq!(fast, checked);
+}
+
+#[test]
+fn round_trip_property_over_random_streams() {
+    for seed in 0..32u64 {
+        let buf = random_buffer(0xfau64 << 32 | seed, 400);
+        buf.validate().expect("captured stream validates");
+        assert_checked_matches_unchecked(&buf);
+    }
+}
+
+#[test]
+fn golden_buffer_round_trips() {
+    let buf = golden();
+    buf.validate().unwrap();
+    assert_checked_matches_unchecked(&buf);
+}
+
+/// Truncation at *every* byte boundary of *every* column: always a
+/// structured error, never a panic, and the sink only ever observes a
+/// valid prefix of the original stream.
+#[test]
+fn every_truncation_errors_and_never_panics() {
+    let buf = golden();
+    let mut full = VecSink::new();
+    buf.replay(&mut full);
+    let cases = truncations(&buf);
+    assert!(!cases.is_empty());
+    for (i, cut) in cases.iter().enumerate() {
+        assert!(cut.validate().is_err(), "truncation case {i} validated");
+        let mut sink = VecSink::new();
+        let err = cut.try_replay(&mut sink);
+        assert!(err.is_err(), "truncation case {i} replayed");
+        assert!(
+            sink.events.len() <= full.events.len()
+                && sink.events == full.events[..sink.events.len()],
+            "truncation case {i} fed the sink a non-prefix"
+        );
+    }
+}
+
+/// Seeded single-bit flips: the decoder must never panic. A flip may
+/// still yield a *different valid* stream (e.g. in a size byte), so the
+/// assertion is "validates cleanly or errors cleanly", plus agreement
+/// between `validate` and `try_replay`.
+#[test]
+fn seeded_bit_flips_never_panic() {
+    let buf = golden();
+    let mut corr = Corruptor::new(0x0b17_f11b);
+    for case in 0..500 {
+        let flipped = corr.bit_flip(&buf);
+        let verdict = flipped.validate();
+        let mut sink = VecSink::new();
+        let replay_verdict = flipped.try_replay(&mut sink);
+        assert_eq!(
+            verdict.is_ok(),
+            replay_verdict.is_ok(),
+            "case {case}: validate and try_replay disagree"
+        );
+    }
+}
+
+/// Multi-bit flips over random buffers — denser corruption, same
+/// guarantee.
+#[test]
+fn multi_bit_flips_on_random_buffers_never_panic() {
+    for seed in 0..8u64 {
+        let buf = random_buffer(seed, 300);
+        let mut corr = Corruptor::new(seed ^ 0xdead);
+        for n in 1..6 {
+            let mangled = corr.bit_flips(&buf, n * 3);
+            let _ = mangled.validate();
+            let _ = mangled.try_replay(&mut VecSink::new());
+        }
+    }
+}
+
+#[test]
+fn random_truncations_always_error() {
+    let buf = random_buffer(99, 500);
+    let mut corr = Corruptor::new(7);
+    for _ in 0..50 {
+        let cut = corr.truncate(&buf);
+        assert!(cut.validate().is_err());
+    }
+}
+
+/// Claiming more events than are encoded is a count/payload mismatch the
+/// validator reports as truncation of the opcode column.
+#[test]
+fn inflated_event_count_is_rejected() {
+    let buf = golden();
+    let mut corr = Corruptor::new(3);
+    for extra in [1u64, 4, 1000] {
+        let inflated = corr.inflate_events(&buf, extra);
+        let err = inflated.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::Truncated { .. } | DecodeError::TrailingBytes { .. }
+            ),
+            "unexpected error for {extra} phantom events: {err}"
+        );
+    }
+}
+
+/// A forged overlong varint (11 continuation bytes) in the address column.
+#[test]
+fn malformed_varint_is_rejected_with_column_and_offset() {
+    let mut raw = RawColumns::of(&golden());
+    raw.addrs = vec![0xff; 11];
+    let err = raw.build().validate().unwrap_err();
+    match err {
+        DecodeError::VarintOverflow { column, offset, .. }
+        | DecodeError::Truncated { column, offset, .. } => {
+            assert_eq!(column, Column::Addr);
+            assert!(offset <= 11);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("address"), "diagnostic lacks column: {msg}");
+}
+
+/// A varint that would overflow u64 (10th byte with high payload bits).
+#[test]
+fn varint_overflowing_u64_is_rejected() {
+    let mut raw = RawColumns::of(&golden());
+    // 9 continuation bytes then a final byte with payload > 1: decodes to
+    // more than 64 bits.
+    let mut bytes = vec![0x80u8; 9];
+    bytes.push(0x7f);
+    raw.sizes = bytes;
+    let err = raw.build().validate().unwrap_err();
+    assert!(
+        matches!(err, DecodeError::VarintOverflow { column: Column::Size, .. }),
+        "unexpected: {err}"
+    );
+}
+
+/// Unbalanced scope events forged by hand: an exit for a scope that was
+/// never entered, and an enter that is never closed.
+#[test]
+fn unbalanced_scopes_are_rejected() {
+    let mut buf = TraceBuffer::new();
+    buf.enter(ScopeId(1));
+    buf.access(RefId(0), 0x100, 8, AccessKind::Load);
+    buf.exit(ScopeId(2)); // mismatched
+    buf.exit(ScopeId(1));
+    let err = buf.validate().unwrap_err();
+    assert!(
+        matches!(err, DecodeError::UnbalancedExit { scope: 2, .. }),
+        "unexpected: {err}"
+    );
+
+    let mut buf = TraceBuffer::new();
+    buf.enter(ScopeId(1));
+    buf.enter(ScopeId(2));
+    buf.exit(ScopeId(2));
+    let err = buf.validate().unwrap_err();
+    assert!(
+        matches!(err, DecodeError::UnclosedScopes { depth: 1 }),
+        "unexpected: {err}"
+    );
+}
+
+/// Bytes left over in a payload column after all declared events decoded.
+#[test]
+fn trailing_bytes_are_rejected() {
+    for column in [Column::Addr, Column::Ref, Column::Size, Column::Scope] {
+        let mut raw = RawColumns::of(&golden());
+        match column {
+            Column::Addr => raw.addrs.push(0x01),
+            Column::Ref => raw.refs.push(0x01),
+            Column::Size => raw.sizes.push(0x01),
+            Column::Scope => raw.scopes.push(0x01),
+            Column::Ops => unreachable!(),
+        }
+        let err = raw.build().validate().unwrap_err();
+        assert!(
+            matches!(err, DecodeError::TrailingBytes { column: c, .. } if c == column),
+            "column {column:?}: unexpected error {err}"
+        );
+    }
+}
+
+/// An empty buffer is trivially valid.
+#[test]
+fn empty_buffer_validates() {
+    let buf = TraceBuffer::new();
+    buf.validate().unwrap();
+    let mut sink = VecSink::new();
+    buf.try_replay(&mut sink).unwrap();
+    assert!(sink.events.is_empty());
+}
+
+/// A sink that panics mid-replay does not poison the shared buffer: the
+/// buffer replays cleanly afterwards (it is never mutated by replay).
+#[test]
+fn sink_panic_does_not_poison_the_buffer() {
+    let buf = golden();
+    let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut hostile = PanickingSink::new(5);
+        buf.replay(&mut hostile);
+    }));
+    assert!(hit.is_err(), "hostile sink must have panicked");
+    assert_checked_matches_unchecked(&buf);
+    buf.validate().unwrap();
+}
+
+/// `try_iter` yields the same events as `replay` and reports errors at
+/// the failing event rather than panicking.
+#[test]
+fn checked_iterator_matches_and_reports_position() {
+    let buf = golden();
+    let mut fast = VecSink::new();
+    buf.replay(&mut fast);
+    let collected: Vec<_> = buf.try_iter().map(|e| e.unwrap()).collect();
+    assert_eq!(collected, fast.events);
+
+    // Truncate the address column mid-stream: iteration must stop with an
+    // error naming the address column, after yielding a valid prefix.
+    let mut raw = RawColumns::of(&buf);
+    let keep = raw.addrs.len() / 2;
+    raw.addrs.truncate(keep);
+    let cut = raw.build();
+    let mut seen = 0usize;
+    let mut failed = None;
+    for e in cut.try_iter() {
+        match e {
+            Ok(ev) => {
+                assert_eq!(ev, fast.events[seen]);
+                seen += 1;
+            }
+            Err(err) => {
+                failed = Some(err);
+                break;
+            }
+        }
+    }
+    let err = failed.expect("truncated stream must error");
+    assert!(
+        matches!(
+            err,
+            DecodeError::Truncated { column: Column::Addr, .. }
+                | DecodeError::VarintOverflow { column: Column::Addr, .. }
+        ),
+        "unexpected: {err}"
+    );
+}
+
+/// Error displays carry byte offsets and event indices for triage.
+#[test]
+fn error_display_carries_diagnostics() {
+    let mut raw = RawColumns::of(&golden());
+    raw.addrs.truncate(1);
+    let err = raw.build().validate().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("address"), "{msg}");
+    assert!(msg.contains("byte") || msg.contains("offset"), "{msg}");
+}

@@ -1,10 +1,20 @@
 #!/usr/bin/env sh
-# Full verification gate: release build, offline test suite, and
-# warning-free clippy across the workspace.
+# Full verification gate: release build, offline test suite, the
+# fault-injection suites run explicitly, and warning-free clippy across
+# the workspace.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Failure-path suites, named explicitly so a regression in the
+# fault-tolerant pipeline fails loudly even if test discovery changes:
+# decoder hardening (no corrupted buffer may panic try_replay), grain
+# panic isolation / budgets, and the facade-level error taxonomy.
+cargo test -q -p reuselens-trace --test fault_injection
+cargo test -q -p reuselens-core --test degradation
+cargo test -q --test fault_tolerance
+
 cargo clippy --workspace --all-targets --no-deps -- -D warnings

@@ -61,6 +61,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use reuselens_cache::ReuseLensError;
+
 /// Loop-nest program IR (the analyzable stand-in for an optimized binary).
 pub mod ir {
     pub use reuselens_ir::*;

@@ -1,0 +1,159 @@
+//! Workspace-level fault-tolerance suite: the error taxonomy, validated
+//! decode, resource budgets, and degraded sweeps, exercised through the
+//! `reuselens` facade on real workload models.
+
+use reuselens::cache::{
+    evaluate_sweep, evaluate_sweep_degraded, try_report_from_analysis, Assoc, CacheConfig,
+    ConfigError, MemoryHierarchy,
+};
+use reuselens::core::{
+    analyze_program_degraded, analyze_program_parallel, capture_program, AnalysisBudget,
+    AnalyzeOptions, GrainError,
+};
+use reuselens::trace::fault::Corruptor;
+use reuselens::trace::VecSink;
+use reuselens::workloads::kernels::random_gather;
+use reuselens::ReuseLensError;
+
+fn measured_analysis() -> (reuselens::core::AnalysisResult, reuselens::ir::Program) {
+    let w = random_gather(1 << 10, 1 << 12, 2, 7);
+    let (analysis, _) =
+        analyze_program_parallel(&w.program, &[128, 16 * 1024], w.index_arrays.clone()).unwrap();
+    (analysis, w.program)
+}
+
+/// An invalid candidate hierarchy fails a sweep with a `Config` error
+/// instead of panicking somewhere inside the model.
+#[test]
+fn invalid_hierarchy_is_a_config_error() {
+    let (analysis, _) = measured_analysis();
+    let mut bad = MemoryHierarchy::itanium2();
+    bad.miss_penalty.pop();
+    let err = evaluate_sweep(&analysis, &[bad]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReuseLensError::Config(ConfigError::PenaltyMismatch { .. })
+        ),
+        "unexpected: {err}"
+    );
+}
+
+/// A hierarchy needing an unmeasured granularity reports which profile is
+/// missing and for which candidate.
+#[test]
+fn missing_granularity_is_reported() {
+    let (analysis, _) = measured_analysis(); // measured at 128 and 16 K only
+    let mut odd = MemoryHierarchy::itanium2();
+    odd.levels[0] = CacheConfig::new("L2", 256 * 1024, 64, Assoc::Ways(8));
+    let err = evaluate_sweep(&analysis, &[odd]).unwrap_err();
+    match &err {
+        ReuseLensError::MissingProfile {
+            hierarchy,
+            granularity,
+        } => {
+            assert_eq!(hierarchy, "Itanium2");
+            assert_eq!(*granularity, 64);
+        }
+        other => panic!("expected MissingProfile, got {other}"),
+    }
+    assert!(err.to_string().contains("no profile at granularity"));
+}
+
+/// A degraded sweep keeps every healthy candidate's report when some
+/// candidates are malformed.
+#[test]
+fn degraded_sweep_keeps_healthy_candidates() {
+    let (analysis, _) = measured_analysis();
+    let good_a = MemoryHierarchy::itanium2();
+    let mut bad = MemoryHierarchy::itanium2();
+    bad.name = "broken".to_string();
+    bad.levels.clear();
+    let good_b = MemoryHierarchy::itanium2_scaled(4);
+
+    let strict = evaluate_sweep(&analysis, &[good_a.clone(), bad.clone(), good_b.clone()]);
+    assert!(strict.is_err());
+
+    let outcome = evaluate_sweep_degraded(&analysis, &[good_a.clone(), bad, good_b.clone()]);
+    assert!(!outcome.is_complete());
+    assert_eq!(outcome.reports.len(), 2);
+    assert_eq!(outcome.failures.len(), 1);
+    assert_eq!(outcome.failures[0].hierarchy, "broken");
+    assert!(matches!(
+        outcome.failures[0].error,
+        ReuseLensError::Config(ConfigError::NoLevels { .. })
+    ));
+    // Reports keep request order and match direct scoring.
+    assert_eq!(outcome.reports[0].hierarchy, good_a.name);
+    assert_eq!(outcome.reports[1].hierarchy, good_b.name);
+    let direct = try_report_from_analysis(&analysis, &good_b).unwrap();
+    assert_eq!(outcome.reports[1], direct);
+}
+
+/// A budgeted degraded analysis of a real irregular workload: the tiny
+/// budget trips with progress counters, the generous one completes.
+#[test]
+fn budgeted_analysis_on_real_workload() {
+    let w = random_gather(1 << 10, 1 << 12, 2, 7);
+    let tight = AnalyzeOptions {
+        budget: AnalysisBudget::unlimited().with_max_distinct_blocks(8),
+        ..AnalyzeOptions::default()
+    };
+    let (partial, _, _) =
+        analyze_program_degraded(&w.program, &[128], w.index_arrays.clone(), &tight).unwrap();
+    let failure = partial.failure_at(128).expect("tight budget must trip");
+    match &failure.error {
+        GrainError::Budget(e) => {
+            assert!(e.progress.distinct_blocks > 8);
+            assert!(e.progress.events > 0);
+        }
+        other => panic!("expected budget failure, got {other}"),
+    }
+
+    let generous = AnalyzeOptions {
+        budget: AnalysisBudget::unlimited().with_max_events(u64::MAX),
+        ..AnalyzeOptions::default()
+    };
+    let (partial, report, _) =
+        analyze_program_degraded(&w.program, &[128], w.index_arrays.clone(), &generous).unwrap();
+    assert!(partial.is_complete());
+    assert_eq!(partial.profiles[0].total_accesses, report.accesses);
+}
+
+/// A captured real workload validates and replays identically through the
+/// checked decoder; a corrupted copy of the same capture is rejected
+/// without panicking.
+#[test]
+fn captured_workload_validates_and_corruption_is_rejected() {
+    let w = random_gather(1 << 10, 1 << 12, 2, 7);
+    let (buffer, report) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
+    buffer.validate().unwrap();
+    let mut fast = VecSink::new();
+    buffer.replay(&mut fast);
+    let mut checked = VecSink::new();
+    buffer.try_replay(&mut checked).unwrap();
+    assert_eq!(fast, checked);
+    assert_eq!(report.accesses, buffer.accesses());
+
+    let mut corruptor = Corruptor::new(0x5eed);
+    for _ in 0..10 {
+        let cut = corruptor.truncate(&buffer);
+        assert!(cut.validate().is_err());
+        // Bit flips may or may not decode; they must simply never panic.
+        let flipped = corruptor.bit_flip(&buffer);
+        let _ = flipped.try_replay(&mut VecSink::new());
+    }
+}
+
+/// Every error in the taxonomy converts into `ReuseLensError` via `?`.
+#[test]
+fn error_taxonomy_composes_with_question_mark() {
+    fn pipeline() -> Result<usize, ReuseLensError> {
+        let w = random_gather(1 << 8, 1 << 10, 2, 7);
+        let (analysis, _) =
+            analyze_program_parallel(&w.program, &[128, 16 * 1024], w.index_arrays.clone())?;
+        let (reports, _) = evaluate_sweep(&analysis, &[MemoryHierarchy::itanium2()])?;
+        Ok(reports.len())
+    }
+    assert_eq!(pipeline().unwrap(), 1);
+}
