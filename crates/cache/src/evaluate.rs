@@ -12,6 +12,7 @@ use crate::model::{predict_level, LevelPrediction};
 use crate::timing::{predict_cycles, TimingBreakdown};
 use reuselens_core::{analyze_program, analyze_program_parallel, AnalysisResult};
 use reuselens_ir::{ArrayId, Program};
+use reuselens_obs as obs;
 use reuselens_trace::ExecError;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -95,6 +96,20 @@ pub fn evaluate_program(
 /// Returns [`ReuseLensError::Config`] for an invalid hierarchy and
 /// [`ReuseLensError::MissingProfile`] for an unmeasured granularity.
 pub fn try_report_from_analysis(
+    analysis: &AnalysisResult,
+    hierarchy: &MemoryHierarchy,
+) -> Result<HierarchyReport, ReuseLensError> {
+    let _span = obs::span(obs::Stage::Sweep);
+    let result = build_report(analysis, hierarchy);
+    match &result {
+        Ok(_) => obs::add(obs::Counter::SweepConfigsScored, 1),
+        Err(_) => obs::add(obs::Counter::SweepConfigsFailed, 1),
+    }
+    result
+}
+
+/// The uninstrumented body of [`try_report_from_analysis`].
+fn build_report(
     analysis: &AnalysisResult,
     hierarchy: &MemoryHierarchy,
 ) -> Result<HierarchyReport, ReuseLensError> {
@@ -210,6 +225,9 @@ fn score_hierarchy(
             })
         }
         Err(payload) => {
+            // A panic unwound past the instrumented scoring path, so the
+            // per-config failure counter never ticked; count it here.
+            obs::add(obs::Counter::SweepConfigsFailed, 1);
             return Err(SweepFailure {
                 hierarchy: h.name.clone(),
                 error: ReuseLensError::SweepPanicked {

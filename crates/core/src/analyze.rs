@@ -37,6 +37,7 @@ use crate::analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
 use crate::budget::{AnalysisBudget, BudgetExceeded, BudgetProgress};
 use crate::patterns::ReuseProfile;
 use reuselens_ir::{ArrayId, Program};
+use reuselens_obs as obs;
 use reuselens_trace::{
     AccessRecord, BufferStats, DecodeError, Event, ExecError, ExecReport, Executor, TraceBuffer,
     TraceSink,
@@ -240,7 +241,14 @@ pub fn capture_program(
     for (arr, data) in index_arrays {
         exec.set_index_array(arr, data);
     }
-    let report = exec.run(&mut buffer)?;
+    let report = {
+        let _span = obs::span(obs::Stage::Capture);
+        exec.run(&mut buffer)?
+    };
+    let stats = buffer.stats();
+    obs::add(obs::Counter::EventsCaptured, stats.events);
+    obs::add(obs::Counter::AccessesCaptured, stats.accesses);
+    obs::add(obs::Counter::BytesEncoded, stats.encoded_bytes);
     Ok((buffer, report))
 }
 
@@ -373,19 +381,23 @@ fn replay_guarded(
 ) -> Result<(), GrainError> {
     let mut batch: Vec<AccessRecord> = Vec::with_capacity(GUARDED_BATCH);
     let mut events = 0u64;
+    let mut accesses = 0u64;
     let check = |analyzer: &ReuseAnalyzer, events: u64| {
-        budget
-            .check(BudgetProgress {
-                events,
-                distinct_blocks: analyzer.distinct_blocks(),
-                tree_nodes: analyzer.tree_nodes() as u64,
-            })
-            .map_err(GrainError::Budget)
+        let progress = BudgetProgress {
+            events,
+            distinct_blocks: analyzer.distinct_blocks(),
+            tree_nodes: analyzer.tree_nodes() as u64,
+        };
+        obs::set_gauge(obs::Gauge::BudgetEvents, progress.events);
+        obs::set_gauge(obs::Gauge::BudgetDistinctBlocks, progress.distinct_blocks);
+        obs::set_gauge(obs::Gauge::BudgetTreeNodes, progress.tree_nodes);
+        budget.check(progress).map_err(GrainError::Budget)
     };
     for event in buffer.try_iter() {
         events += 1;
         match event.map_err(GrainError::Decode)? {
             Event::Access { r, addr, size, kind } => {
+                accesses += 1;
                 batch.push(AccessRecord { r, addr, size, kind });
                 if batch.len() == GUARDED_BATCH {
                     analyzer.access_batch(&batch);
@@ -412,6 +424,8 @@ fn replay_guarded(
     if !batch.is_empty() {
         analyzer.access_batch(&batch);
     }
+    obs::add(obs::Counter::EventsDecoded, events);
+    obs::add(obs::Counter::AccessesDecoded, accesses);
     check(analyzer, events)
 }
 
@@ -423,6 +437,7 @@ fn replay_grain(
     block_size: u64,
     opts: &AnalyzeOptions,
 ) -> Result<(ReuseProfile, ReplayTiming), GrainError> {
+    let _span = obs::span(obs::Stage::Replay);
     let start = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<ReuseProfile, GrainError> {
         let mut analyzer = ReuseAnalyzer::new(program, block_size);
@@ -434,13 +449,22 @@ fn replay_grain(
         Ok(analyzer.finish())
     }));
     match outcome {
-        Ok(Ok(profile)) => Ok((
-            profile,
-            ReplayTiming {
-                block_size,
-                wall: start.elapsed(),
-            },
-        )),
+        Ok(Ok(profile)) => {
+            obs::add(obs::Counter::BlocksTracked, profile.distinct_blocks);
+            // Every measured (non-cold) reuse re-keys its block's node on
+            // the order-statistic tree with one fused reinsert.
+            obs::add(
+                obs::Counter::TreeReinserts,
+                profile.total_accesses - profile.total_cold(),
+            );
+            Ok((
+                profile,
+                ReplayTiming {
+                    block_size,
+                    wall: start.elapsed(),
+                },
+            ))
+        }
         Ok(Err(e)) => Err(e),
         Err(payload) => Err(GrainError::Panicked(panic_message(payload.as_ref()))),
     }
@@ -462,6 +486,7 @@ pub fn analyze_buffer_with(
     block_sizes: &[u64],
     opts: &AnalyzeOptions,
 ) -> PartialAnalysis {
+    obs::add(obs::Counter::GrainsRequested, block_sizes.len() as u64);
     let outcomes: Vec<Result<(ReuseProfile, ReplayTiming), GrainError>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = block_sizes
@@ -488,20 +513,25 @@ pub fn analyze_buffer_with(
             // idle machine; decode and budget failures are deterministic,
             // so retrying them would only repeat the work.
             Err(GrainError::Panicked(_)) if opts.retry => {
+                obs::add(obs::Counter::GrainsRetried, 1);
                 replay_grain(program, buffer, block_size, opts).map_err(|e| (e, true))
             }
             other => other.map_err(|e| (e, false)),
         };
         match outcome {
             Ok((profile, timing)) => {
+                obs::add(obs::Counter::GrainsCompleted, 1);
                 profiles.push(profile);
                 replays.push(timing);
             }
-            Err((error, retried)) => failures.push(FailureReport {
-                block_size,
-                error,
-                retried,
-            }),
+            Err((error, retried)) => {
+                obs::add(obs::Counter::GrainsFailed, 1);
+                failures.push(FailureReport {
+                    block_size,
+                    error,
+                    retried,
+                });
+            }
         }
     }
     PartialAnalysis {

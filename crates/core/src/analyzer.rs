@@ -116,6 +116,7 @@ pub struct ReuseAnalyzer {
     per_sink: Vec<SinkPatterns>,
     cold: Vec<u64>,
     ref_scopes: Vec<ScopeId>,
+    last_distance: Option<u64>,
 }
 
 impl ReuseAnalyzer {
@@ -140,6 +141,7 @@ impl ReuseAnalyzer {
             per_sink: (0..nrefs).map(|_| SinkPatterns::default()).collect(),
             cold: vec![0; nrefs],
             ref_scopes: program.references().iter().map(|r| r.scope()).collect(),
+            last_distance: None,
         }
     }
 
@@ -161,6 +163,14 @@ impl ReuseAnalyzer {
     /// Current size of the order-statistic tree (one node per live block).
     pub fn tree_nodes(&self) -> usize {
         self.tree.len()
+    }
+
+    /// Distance the most recent access was measured at: `Some(d)` for a
+    /// reuse, `None` for a cold first touch (or before any access). This
+    /// per-access view is what the randomized property suite compares
+    /// against the brute-force [`oracle`](crate::oracle), access by access.
+    pub fn last_distance(&self) -> Option<u64> {
+        self.last_distance
     }
 
     /// Consumes the analyzer and produces the measured profile.
@@ -204,10 +214,12 @@ impl TraceSink for ReuseAnalyzer {
                 let carrier = self.stack.carrier(prev.time);
                 let source = self.ref_scopes[prev.ref_id as usize];
                 self.per_sink[r.index()].record(source, carrier, distance);
+                self.last_distance = Some(distance);
             }
             None => {
                 self.cold[r.index()] += 1;
                 self.tree.insert(now);
+                self.last_distance = None;
             }
         }
         self.table.set(block, now, r.0);

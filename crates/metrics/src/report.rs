@@ -1,9 +1,10 @@
 //! The one-call locality analysis: execute, measure, predict, attribute.
 
 use crate::attribution::LevelMetrics;
-use reuselens_cache::{evaluate_program, HierarchyReport, MemoryHierarchy};
-use reuselens_core::AnalysisResult;
+use reuselens_cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
+use reuselens_core::{analyze_buffer, capture_program, AnalysisResult};
 use reuselens_ir::{ArrayId, Program};
+use reuselens_obs as obs;
 use reuselens_static::StaticAnalysis;
 use reuselens_trace::ExecError;
 
@@ -81,7 +82,21 @@ pub fn run_locality_analysis(
     hierarchy: &MemoryHierarchy,
     index_arrays: Vec<(ArrayId, Vec<i64>)>,
 ) -> Result<LocalityAnalysis, ExecError> {
-    let (report, analysis) = evaluate_program(program, hierarchy, index_arrays)?;
+    // Capture once, then replay per granularity: this is the pipeline the
+    // CLI reports on, so each stage runs under its own span (capture and
+    // replay spans are recorded inside `capture_program`/`analyze_buffer`).
+    let (buffer, exec) = capture_program(program, index_arrays)?;
+    // An in-process capture can only fail validation through a ReuseLens
+    // bug, so surface that as a panic rather than widening the error type.
+    buffer
+        .validate()
+        .unwrap_or_else(|e| panic!("in-process capture failed validation: {e}"));
+    let grains = hierarchy.required_granularities();
+    let (profiles, _timings) =
+        analyze_buffer(program, &buffer, &grains).unwrap_or_else(|e| panic!("{e}"));
+    let analysis = AnalysisResult { profiles, exec };
+    let report = report_from_analysis(&analysis, hierarchy);
+    let _span = obs::span(obs::Stage::Report);
     let sa = StaticAnalysis::analyze(program, &analysis.exec);
     let cache_metrics = report
         .levels
@@ -98,6 +113,7 @@ pub fn run_locality_analysis(
         .profile_at(hierarchy.tlb.line_size)
         .expect("page-granularity profile");
     let tlb_metrics = LevelMetrics::compute(program, &report.tlb, tlb_profile, &sa);
+    obs::add(obs::Counter::ReportsGenerated, 1);
     Ok(LocalityAnalysis {
         report,
         cache_metrics,

@@ -1,0 +1,178 @@
+//! Snapshot exporters: Prometheus text exposition and a human summary.
+//!
+//! Both render a [`MetricsSnapshot`] — plain data — so their output is a
+//! pure function of the snapshot. The golden tests zero the snapshot's
+//! timings and compare entire rendered strings, which keeps the formats
+//! stable without depending on the machine's clock.
+
+use crate::{Counter, Gauge, MetricsSnapshot};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Renders a snapshot in the Prometheus text exposition format: every
+/// counter as `reuselens_<name>_total`, every gauge as
+/// `reuselens_<name>`, and spans as the `stage`-labeled pair
+/// `reuselens_stage_spans_total` / `reuselens_stage_seconds_total`.
+/// Metrics appear even when zero, so scrapers see a stable series set.
+pub fn format_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for counter in Counter::ALL {
+        let name = counter.name();
+        let _ = writeln!(out, "# HELP reuselens_{name}_total {}", counter.help());
+        let _ = writeln!(out, "# TYPE reuselens_{name}_total counter");
+        let _ = writeln!(
+            out,
+            "reuselens_{name}_total {}",
+            snapshot.counter(counter)
+        );
+    }
+    for gauge in Gauge::ALL {
+        let name = gauge.name();
+        let _ = writeln!(out, "# HELP reuselens_{name} {}", gauge.help());
+        let _ = writeln!(out, "# TYPE reuselens_{name} gauge");
+        let _ = writeln!(out, "reuselens_{name} {}", snapshot.gauge(gauge));
+    }
+    let _ = writeln!(
+        out,
+        "# HELP reuselens_stage_spans_total Completed spans per pipeline stage."
+    );
+    let _ = writeln!(out, "# TYPE reuselens_stage_spans_total counter");
+    for span in &snapshot.spans {
+        let _ = writeln!(
+            out,
+            "reuselens_stage_spans_total{{stage=\"{}\"}} {}",
+            span.stage.name(),
+            span.count
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP reuselens_stage_seconds_total Wall-clock seconds spent per pipeline stage."
+    );
+    let _ = writeln!(out, "# TYPE reuselens_stage_seconds_total counter");
+    for span in &snapshot.spans {
+        let _ = writeln!(
+            out,
+            "reuselens_stage_seconds_total{{stage=\"{}\"}} {:.9}",
+            span.stage.name(),
+            span.total.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Formats a duration with a deterministic unit ladder (`0 ns` exactly
+/// when zero, so zeroed golden snapshots render stably).
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos == 0 {
+        "0 ns".to_string()
+    } else if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Renders a snapshot as a human-readable summary: per-stage span table
+/// first (stages indented by their deepest observed nesting), then every
+/// non-uninteresting counter, then the budget gauges when any is set.
+/// This is what the CLI prints to stderr as its timing footer.
+pub fn format_summary(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== reuselens pipeline metrics ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>12} {:>12}",
+        "stage", "spans", "total", "mean"
+    );
+    for span in &snapshot.spans {
+        let indent = "  ".repeat(span.max_depth.max(1) as usize);
+        let name = format!("{indent}{}", span.stage.name());
+        if span.count == 0 {
+            let _ = writeln!(out, "{:<24} {:>6} {:>12} {:>12}", name, 0, "-", "-");
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>12} {:>12}",
+                name,
+                span.count,
+                fmt_duration(span.total),
+                fmt_duration(span.mean()),
+            );
+        }
+    }
+    let _ = writeln!(out, "counters");
+    for counter in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>20}",
+            counter.name(),
+            snapshot.counter(counter)
+        );
+    }
+    if Gauge::ALL.iter().any(|&g| snapshot.gauge(g) != 0) {
+        let _ = writeln!(out, "gauges");
+        for gauge in Gauge::ALL {
+            let _ = writeln!(out, "  {:<22} {:>20}", gauge.name(), snapshot.gauge(gauge));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsRecorder, Recorder, Stage};
+
+    #[test]
+    fn prometheus_exports_every_metric_even_at_zero() {
+        let snap = MetricsRecorder::new().snapshot();
+        let text = format_prometheus(&snap);
+        for counter in Counter::ALL {
+            assert!(text.contains(&format!("reuselens_{}_total 0", counter.name())));
+        }
+        for gauge in Gauge::ALL {
+            assert!(text.contains(&format!("reuselens_{} 0", gauge.name())));
+        }
+        for stage in Stage::ALL {
+            assert!(text.contains(&format!(
+                "reuselens_stage_spans_total{{stage=\"{}\"}} 0",
+                stage.name()
+            )));
+            assert!(text.contains(&format!(
+                "reuselens_stage_seconds_total{{stage=\"{}\"}} 0.000000000",
+                stage.name()
+            )));
+        }
+        // Exposition-format hygiene: HELP/TYPE pairs for every family.
+        assert_eq!(text.matches("# TYPE").count(), Counter::ALL.len() + Gauge::ALL.len() + 2);
+    }
+
+    #[test]
+    fn duration_ladder_is_deterministic() {
+        assert_eq!(fmt_duration(Duration::ZERO), "0 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(999)), "999 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1500)), "1.5 us");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.500 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.500 s");
+    }
+
+    #[test]
+    fn summary_shows_counts_and_hides_unset_gauges() {
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::EventsCaptured, 42);
+        rec.record_span(Stage::Capture, Duration::from_millis(2), 1);
+        let text = format_summary(&rec.snapshot());
+        assert!(text.contains("capture"));
+        assert!(text.contains("events_captured"));
+        assert!(text.contains("42"));
+        assert!(!text.contains("gauges"), "unset gauges are omitted");
+        rec.set_gauge(Gauge::BudgetEvents, 10);
+        assert!(format_summary(&rec.snapshot()).contains("gauges"));
+    }
+}

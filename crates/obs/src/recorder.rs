@@ -1,0 +1,227 @@
+//! The recorder trait and the default all-atomic implementation.
+
+use crate::{Counter, Gauge, Stage};
+use std::array;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Receives instrumentation from the pipeline. Implementations must be
+/// cheap and wait-free-ish: they are called from replay threads with bulk
+/// deltas (per batch / per grain / per buffer, never per event) and must
+/// never panic — a panicking recorder poisons nothing, but its
+/// measurement is lost.
+pub trait Recorder: Send + Sync {
+    /// Adds a bulk delta to a counter.
+    fn add(&self, counter: Counter, delta: u64);
+    /// Sets a gauge to its latest observed value.
+    fn set_gauge(&self, gauge: Gauge, value: u64);
+    /// Records one completed span: its stage, wall time, and the
+    /// thread-local nesting depth it ran at (1 = top level).
+    fn record_span(&self, stage: Stage, wall: Duration, depth: u32);
+}
+
+/// The default [`Recorder`]: plain relaxed atomics, no locks, no
+/// allocation after construction. Safe to share across every replay and
+/// sweep thread; [`snapshot`](MetricsRecorder::snapshot) can be taken at
+/// any time (values are each individually consistent).
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauges: [AtomicU64; Gauge::ALL.len()],
+    span_counts: [AtomicU64; Stage::ALL.len()],
+    span_nanos: [AtomicU64; Stage::ALL.len()],
+    span_depths: [AtomicU64; Stage::ALL.len()],
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder with every metric at zero.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder {
+            counters: array::from_fn(|_| AtomicU64::new(0)),
+            gauges: array::from_fn(|_| AtomicU64::new(0)),
+            span_counts: array::from_fn(|_| AtomicU64::new(0)),
+            span_nanos: array::from_fn(|_| AtomicU64::new(0)),
+            span_depths: array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Current value of one gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge.index()].load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every metric, ready for export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Counter::ALL.map(|c| self.counter(c)),
+            gauges: Gauge::ALL.map(|g| self.gauge(g)),
+            spans: Stage::ALL.map(|s| SpanStats {
+                stage: s,
+                count: self.span_counts[s.index()].load(Ordering::Relaxed),
+                total: Duration::from_nanos(
+                    self.span_nanos[s.index()].load(Ordering::Relaxed),
+                ),
+                max_depth: self.span_depths[s.index()].load(Ordering::Relaxed) as u32,
+            }),
+        }
+    }
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> MetricsRecorder {
+        MetricsRecorder::new()
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn add(&self, counter: Counter, delta: u64) {
+        self.counters[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge.index()].store(value, Ordering::Relaxed);
+    }
+
+    fn record_span(&self, stage: Stage, wall: Duration, depth: u32) {
+        let i = stage.index();
+        self.span_counts[i].fetch_add(1, Ordering::Relaxed);
+        // Saturating: 2^64 ns is ~584 years of span time.
+        let nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        self.span_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+        self.span_depths[i].fetch_max(u64::from(depth), Ordering::Relaxed);
+    }
+}
+
+/// Aggregated timing of one stage's spans inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// The stage these spans timed.
+    pub stage: Stage,
+    /// How many spans completed.
+    pub count: u64,
+    /// Total wall time across all of them.
+    pub total: Duration,
+    /// Deepest nesting level observed (1 = top level, 0 = never opened).
+    pub max_depth: u32,
+}
+
+impl SpanStats {
+    /// Mean wall time per span, or zero when none completed.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.count).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRecorder`]'s state. This is what
+/// the exporters consume; it is plain data, so tests can normalize it
+/// (e.g. [`zero_timings`](Self::zero_timings)) before golden comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, index-aligned with [`Counter::ALL`].
+    pub counters: [u64; Counter::ALL.len()],
+    /// Gauge values, index-aligned with [`Gauge::ALL`].
+    pub gauges: [u64; Gauge::ALL.len()],
+    /// Per-stage span statistics, index-aligned with [`Stage::ALL`].
+    pub spans: [SpanStats; Stage::ALL.len()],
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Value of one gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge.index()]
+    }
+
+    /// Statistics of one stage's spans.
+    pub fn stage(&self, stage: Stage) -> SpanStats {
+        self.spans[stage.index()]
+    }
+
+    /// Zeroes every wall-clock duration, keeping counts and depths.
+    /// Golden exporter tests call this so expected output is exact
+    /// without depending on the machine's clock.
+    pub fn zero_timings(&mut self) {
+        for span in &mut self.spans {
+            span.total = Duration::ZERO;
+        }
+    }
+
+    /// Renders this snapshot with [`format_prometheus`](crate::format_prometheus).
+    pub fn to_prometheus(&self) -> String {
+        crate::format_prometheus(self)
+    }
+
+    /// Renders this snapshot with [`format_summary`](crate::format_summary).
+    pub fn to_summary(&self) -> String {
+        crate::format_summary(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates_and_snapshots() {
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::EventsDecoded, 100);
+        rec.add(Counter::EventsDecoded, 23);
+        rec.set_gauge(Gauge::BudgetEvents, 5);
+        rec.set_gauge(Gauge::BudgetEvents, 3); // last write wins
+        rec.record_span(Stage::Replay, Duration::from_millis(4), 1);
+        rec.record_span(Stage::Replay, Duration::from_millis(2), 2);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::EventsDecoded), 123);
+        assert_eq!(snap.gauge(Gauge::BudgetEvents), 3);
+        let replay = snap.stage(Stage::Replay);
+        assert_eq!(replay.count, 2);
+        assert_eq!(replay.total, Duration::from_millis(6));
+        assert_eq!(replay.max_depth, 2);
+        assert_eq!(replay.mean(), Duration::from_millis(3));
+        assert_eq!(snap.stage(Stage::Capture).count, 0);
+        assert_eq!(snap.stage(Stage::Capture).mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let rec = MetricsRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        rec.add(Counter::TreeReinserts, 1);
+                        rec.record_span(Stage::Sweep, Duration::from_nanos(10), 1);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::TreeReinserts), 8000);
+        assert_eq!(snap.stage(Stage::Sweep).count, 8000);
+        assert_eq!(snap.stage(Stage::Sweep).total, Duration::from_nanos(80_000));
+    }
+
+    #[test]
+    fn zero_timings_keeps_counts() {
+        let rec = MetricsRecorder::new();
+        rec.record_span(Stage::Capture, Duration::from_secs(1), 1);
+        let mut snap = rec.snapshot();
+        snap.zero_timings();
+        assert_eq!(snap.stage(Stage::Capture).count, 1);
+        assert_eq!(snap.stage(Stage::Capture).total, Duration::ZERO);
+        assert_eq!(snap.stage(Stage::Capture).max_depth, 1);
+    }
+}

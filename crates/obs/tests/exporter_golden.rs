@@ -1,0 +1,140 @@
+//! Golden snapshots of both exporters.
+//!
+//! A fixed, fully populated recorder (every counter, every gauge, a
+//! nested span pattern) is snapshotted with wall-clock durations zeroed
+//! ([`MetricsSnapshot::zero_timings`]) so both rendered strings are
+//! byte-exact and machine-independent. Any formatting drift — renamed
+//! series, changed help text, shifted columns — fails here first, before
+//! it breaks a downstream scrape config.
+
+use reuselens_obs::{Counter, Gauge, MetricsRecorder, Recorder, Stage};
+use std::time::Duration;
+
+/// Every counter at `(index + 1) * 10`, every gauge at `(index + 1) * 7`,
+/// and a span pattern covering nesting (decode under capture), repetition
+/// (two replays), and absence (no report span).
+fn populated() -> MetricsRecorder {
+    let r = MetricsRecorder::new();
+    for (i, c) in Counter::ALL.into_iter().enumerate() {
+        r.add(c, (i as u64 + 1) * 10);
+    }
+    for (i, g) in Gauge::ALL.into_iter().enumerate() {
+        r.set_gauge(g, (i as u64 + 1) * 7);
+    }
+    r.record_span(Stage::Capture, Duration::from_millis(12), 1);
+    r.record_span(Stage::Decode, Duration::from_millis(3), 2);
+    r.record_span(Stage::Replay, Duration::from_millis(40), 1);
+    r.record_span(Stage::Replay, Duration::from_millis(44), 1);
+    r.record_span(Stage::Sweep, Duration::from_micros(80), 1);
+    r
+}
+
+const GOLDEN_PROMETHEUS: &str = r#"# HELP reuselens_events_captured_total Events captured into trace buffers (accesses + scope transitions).
+# TYPE reuselens_events_captured_total counter
+reuselens_events_captured_total 10
+# HELP reuselens_accesses_captured_total Memory-access events captured into trace buffers.
+# TYPE reuselens_accesses_captured_total counter
+reuselens_accesses_captured_total 20
+# HELP reuselens_bytes_encoded_total Bytes occupied by captured columnar encodings.
+# TYPE reuselens_bytes_encoded_total counter
+reuselens_bytes_encoded_total 30
+# HELP reuselens_events_decoded_total Events decoded out of trace buffers across all replays.
+# TYPE reuselens_events_decoded_total counter
+reuselens_events_decoded_total 40
+# HELP reuselens_accesses_decoded_total Memory-access events decoded out of trace buffers.
+# TYPE reuselens_accesses_decoded_total counter
+reuselens_accesses_decoded_total 50
+# HELP reuselens_blocks_tracked_total Distinct blocks entered into analyzer block tables.
+# TYPE reuselens_blocks_tracked_total counter
+reuselens_blocks_tracked_total 60
+# HELP reuselens_tree_reinserts_total Order-statistic-tree reinserts (one per measured non-cold reuse).
+# TYPE reuselens_tree_reinserts_total counter
+reuselens_tree_reinserts_total 70
+# HELP reuselens_grains_requested_total Grains submitted to the replay engine.
+# TYPE reuselens_grains_requested_total counter
+reuselens_grains_requested_total 80
+# HELP reuselens_grains_completed_total Grains whose replay produced a profile.
+# TYPE reuselens_grains_completed_total counter
+reuselens_grains_completed_total 90
+# HELP reuselens_grains_failed_total Grains declared dead after their final attempt.
+# TYPE reuselens_grains_failed_total counter
+reuselens_grains_failed_total 100
+# HELP reuselens_grains_retried_total Sequential retries of panicked grains.
+# TYPE reuselens_grains_retried_total counter
+reuselens_grains_retried_total 110
+# HELP reuselens_sweep_configs_scored_total Candidate hierarchies scored successfully.
+# TYPE reuselens_sweep_configs_scored_total counter
+reuselens_sweep_configs_scored_total 120
+# HELP reuselens_sweep_configs_failed_total Candidate hierarchies that failed scoring.
+# TYPE reuselens_sweep_configs_failed_total counter
+reuselens_sweep_configs_failed_total 130
+# HELP reuselens_reports_generated_total Attribution reports generated.
+# TYPE reuselens_reports_generated_total counter
+reuselens_reports_generated_total 140
+# HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
+# TYPE reuselens_budget_events gauge
+reuselens_budget_events 7
+# HELP reuselens_budget_distinct_blocks Distinct blocks tracked at the latest budget checkpoint.
+# TYPE reuselens_budget_distinct_blocks gauge
+reuselens_budget_distinct_blocks 14
+# HELP reuselens_budget_tree_nodes Live tree nodes at the latest budget checkpoint.
+# TYPE reuselens_budget_tree_nodes gauge
+reuselens_budget_tree_nodes 21
+# HELP reuselens_stage_spans_total Completed spans per pipeline stage.
+# TYPE reuselens_stage_spans_total counter
+reuselens_stage_spans_total{stage="capture"} 1
+reuselens_stage_spans_total{stage="decode"} 1
+reuselens_stage_spans_total{stage="replay"} 2
+reuselens_stage_spans_total{stage="sweep"} 1
+reuselens_stage_spans_total{stage="report"} 0
+# HELP reuselens_stage_seconds_total Wall-clock seconds spent per pipeline stage.
+# TYPE reuselens_stage_seconds_total counter
+reuselens_stage_seconds_total{stage="capture"} 0.000000000
+reuselens_stage_seconds_total{stage="decode"} 0.000000000
+reuselens_stage_seconds_total{stage="replay"} 0.000000000
+reuselens_stage_seconds_total{stage="sweep"} 0.000000000
+reuselens_stage_seconds_total{stage="report"} 0.000000000
+"#;
+
+const GOLDEN_SUMMARY: &str = "\
+== reuselens pipeline metrics ==
+stage                     spans        total         mean
+  capture                     1         0 ns         0 ns
+    decode                    1         0 ns         0 ns
+  replay                      2         0 ns         0 ns
+  sweep                       1         0 ns         0 ns
+  report                      0            -            -
+counters
+  events_captured                          10
+  accesses_captured                        20
+  bytes_encoded                            30
+  events_decoded                           40
+  accesses_decoded                         50
+  blocks_tracked                           60
+  tree_reinserts                           70
+  grains_requested                         80
+  grains_completed                         90
+  grains_failed                           100
+  grains_retried                          110
+  sweep_configs_scored                    120
+  sweep_configs_failed                    130
+  reports_generated                       140
+gauges
+  budget_events                             7
+  budget_distinct_blocks                   14
+  budget_tree_nodes                        21
+";
+
+#[test]
+fn prometheus_export_matches_golden() {
+    let mut snap = populated().snapshot();
+    snap.zero_timings();
+    assert_eq!(snap.to_prometheus(), GOLDEN_PROMETHEUS);
+}
+
+#[test]
+fn summary_export_matches_golden() {
+    let mut snap = populated().snapshot();
+    snap.zero_timings();
+    assert_eq!(snap.to_summary(), GOLDEN_SUMMARY);
+}

@@ -30,6 +30,7 @@
 use crate::decode::{try_varint, Column, DecodeError};
 use crate::event::{AccessRecord, Event, TraceSink};
 use reuselens_ir::{AccessKind, RefId, ScopeId};
+use reuselens_obs as obs;
 
 /// Events handed to [`TraceSink::access_batch`] per virtual call during
 /// replay. Large enough to amortize dispatch, small enough to stay in L1.
@@ -265,6 +266,8 @@ impl TraceBuffer {
         if !batch.is_empty() {
             sink.access_batch(&batch);
         }
+        obs::add(obs::Counter::EventsDecoded, self.events);
+        obs::add(obs::Counter::AccessesDecoded, self.accesses);
     }
 
     /// Replays the captured stream into `sink` through the **validating**
@@ -283,37 +286,49 @@ impl TraceBuffer {
     /// all-or-nothing semantics should [`validate`](Self::validate) first
     /// or discard the sink on error.
     pub fn try_replay<S: TraceSink + ?Sized>(&self, sink: &mut S) -> Result<(), DecodeError> {
-        let mut batch: Vec<AccessRecord> = Vec::with_capacity(BATCH);
-        let mut dec = Decoder::new(self)?;
-        while let Some(event) = dec.next_event()? {
-            match event {
-                Event::Access { r, addr, size, kind } => {
-                    batch.push(AccessRecord { r, addr, size, kind });
-                    if batch.len() == BATCH {
-                        sink.access_batch(&batch);
-                        batch.clear();
+        let _span = obs::span(obs::Stage::Decode);
+        let mut decoded_events = 0u64;
+        let mut decoded_accesses = 0u64;
+        let result = (|| {
+            let mut batch: Vec<AccessRecord> = Vec::with_capacity(BATCH);
+            let mut dec = Decoder::new(self)?;
+            while let Some(event) = dec.next_event()? {
+                decoded_events += 1;
+                match event {
+                    Event::Access { r, addr, size, kind } => {
+                        decoded_accesses += 1;
+                        batch.push(AccessRecord { r, addr, size, kind });
+                        if batch.len() == BATCH {
+                            sink.access_batch(&batch);
+                            batch.clear();
+                        }
                     }
-                }
-                Event::Enter(scope) => {
-                    if !batch.is_empty() {
-                        sink.access_batch(&batch);
-                        batch.clear();
+                    Event::Enter(scope) => {
+                        if !batch.is_empty() {
+                            sink.access_batch(&batch);
+                            batch.clear();
+                        }
+                        sink.enter(scope);
                     }
-                    sink.enter(scope);
-                }
-                Event::Exit(scope) => {
-                    if !batch.is_empty() {
-                        sink.access_batch(&batch);
-                        batch.clear();
+                    Event::Exit(scope) => {
+                        if !batch.is_empty() {
+                            sink.access_batch(&batch);
+                            batch.clear();
+                        }
+                        sink.exit(scope);
                     }
-                    sink.exit(scope);
                 }
             }
-        }
-        if !batch.is_empty() {
-            sink.access_batch(&batch);
-        }
-        dec.finish()
+            if !batch.is_empty() {
+                sink.access_batch(&batch);
+            }
+            dec.finish()
+        })();
+        // The valid prefix was decoded and delivered even when the buffer
+        // turns out malformed, so it counts either way.
+        obs::add(obs::Counter::EventsDecoded, decoded_events);
+        obs::add(obs::Counter::AccessesDecoded, decoded_accesses);
+        result
     }
 
     /// Checks the full encoding without producing events: decodes every
@@ -326,6 +341,7 @@ impl TraceBuffer {
     /// [`replay`](Self::replay) and [`iter`](Self::iter) will decode this
     /// buffer without panicking and will reproduce a well-formed stream.
     pub fn validate(&self) -> Result<(), DecodeError> {
+        let _span = obs::span(obs::Stage::Decode);
         let mut dec = Decoder::new(self)?;
         while dec.next_event()?.is_some() {}
         dec.finish()

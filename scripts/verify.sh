@@ -17,4 +17,13 @@ cargo test -q -p reuselens-trace --test fault_injection
 cargo test -q -p reuselens-core --test degradation
 cargo test -q --test fault_tolerance
 
+# Differential/property suites, named explicitly for the same reason: the
+# analyzer-vs-oracle property suite, the model-vs-simulator differential
+# suite, the obs does-not-change-results identity suite, and the exporter
+# golden snapshots.
+cargo test -q -p reuselens-core --test property_oracle
+cargo test -q -p reuselens-cache --test model_vs_sim
+cargo test -q --test obs_identity
+cargo test -q -p reuselens-obs --test exporter_golden
+
 cargo clippy --workspace --all-targets --no-deps -- -D warnings

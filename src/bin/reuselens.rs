@@ -32,6 +32,7 @@ use reuselens::core::{
 };
 use reuselens::model::ProfileModel;
 use reuselens::ir::Program;
+use reuselens::obs::{self, MetricsRecorder};
 use reuselens::metrics::{
     format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
     format_spatial, format_summary, run_locality_analysis, to_xml, LocalityAnalysis,
@@ -75,6 +76,9 @@ COMMON OPTIONS:
                     contexts | program | xml
                                                        [default: summary]
     --level <L>     level for patterns/advice/breakdown [default: L2]
+    --metrics <PATH> write pipeline metrics (Prometheus text) to PATH
+                    ('-' for stdout) and print a per-stage timing
+                    footer to stderr
     --save-profile <PATH>   save the measured reuse profiles for `predict`
     --size <N>      problem-size tag stored with --save-profile
 
@@ -86,7 +90,29 @@ EXAMPLES:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let metrics_target = args
+        .windows(2)
+        .find(|w| w[0] == "--metrics")
+        .map(|w| w[1].clone());
+    let recorder = metrics_target.as_ref().map(|_| {
+        let r = std::sync::Arc::new(MetricsRecorder::new());
+        obs::install(r.clone());
+        r
+    });
+    let result = run(&args);
+    if let (Some(target), Some(recorder)) = (&metrics_target, &recorder) {
+        obs::uninstall();
+        let snapshot = recorder.snapshot();
+        eprint!("{}", snapshot.to_summary());
+        let text = snapshot.to_prometheus();
+        if target == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(target, text) {
+            eprintln!("error: cannot write metrics to {target}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -269,7 +295,7 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
             continue;
         }
         if a.starts_with("--") {
-            skip = matches!(a.as_str(), "--at" | "--level" | "--scale");
+            skip = matches!(a.as_str(), "--at" | "--level" | "--scale" | "--metrics");
             continue;
         }
         files.push(a.clone());

@@ -108,3 +108,10 @@ pub mod advisor {
 pub mod workloads {
     pub use reuselens_workloads::*;
 }
+
+/// Pipeline observability: hierarchical stage spans, typed counters and
+/// gauges, and Prometheus/human exporters. Disabled by default; install a
+/// recorder with [`obs::install`] to start collecting.
+pub mod obs {
+    pub use reuselens_obs::*;
+}

@@ -1,0 +1,223 @@
+//! The observability layer's central promise, proved end to end: turning
+//! it on changes *nothing* about the analysis.
+//!
+//! The same Sweep3D and GTC pipelines run three ways — obs disabled, obs
+//! enabled from the start, and obs installed mid-run between capture and
+//! replay — and every profile and hierarchy report must come back
+//! bit-identical. The recorder's counters must also reconcile against
+//! ground truth the pipeline reports independently (buffer statistics,
+//! grain counts, hierarchy counts), so the numbers the exporters print
+//! are provably the numbers the pipeline produced.
+//!
+//! The recorder slot is process-global, so every test serializes on one
+//! mutex (poison-tolerant: one failed test must not wedge the rest).
+
+use reuselens::cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
+use reuselens::core::{analyze_buffer, capture_program, AnalysisResult, ReuseProfile};
+use reuselens::metrics::run_locality_analysis;
+use reuselens::obs::{self, Counter, MetricsRecorder, MetricsSnapshot, Stage};
+use reuselens::trace::BufferStats;
+use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
+use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
+use reuselens::workloads::BuiltWorkload;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests that touch the process-global recorder slot.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    INSTALL_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn workloads() -> Vec<BuiltWorkload> {
+    vec![
+        build_sweep(&SweepConfig::new(8)),
+        build_gtc(&GtcConfig::new(256, 8)),
+    ]
+}
+
+fn hierarchies() -> Vec<MemoryHierarchy> {
+    vec![
+        MemoryHierarchy::itanium2_scaled(16),
+        MemoryHierarchy::itanium2_scaled(32),
+    ]
+}
+
+/// Union of granularities the candidate hierarchies need.
+fn grains(hierarchies: &[MemoryHierarchy]) -> Vec<u64> {
+    let mut g: Vec<u64> = hierarchies
+        .iter()
+        .flat_map(MemoryHierarchy::required_granularities)
+        .collect();
+    g.sort_unstable();
+    g.dedup();
+    g
+}
+
+struct PipelineRun {
+    profiles: Vec<ReuseProfile>,
+    reports: Vec<HierarchyReport>,
+    stats: BufferStats,
+    exec_accesses: u64,
+}
+
+/// The capture-once / replay-many / sweep pipeline, as the CLI runs it.
+fn run_pipeline(w: &BuiltWorkload, hs: &[MemoryHierarchy]) -> PipelineRun {
+    let (buffer, exec) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
+    buffer.validate().unwrap();
+    let g = grains(hs);
+    let (profiles, _timings) = analyze_buffer(&w.program, &buffer, &g).unwrap();
+    let analysis = AnalysisResult {
+        profiles,
+        exec: exec.clone(),
+    };
+    let reports = hs
+        .iter()
+        .map(|h| report_from_analysis(&analysis, h))
+        .collect();
+    PipelineRun {
+        profiles: analysis.profiles,
+        reports,
+        stats: buffer.stats(),
+        exec_accesses: exec.accesses,
+    }
+}
+
+/// Counter reconciliation for one instrumented full-pipeline run.
+fn assert_reconciles(snap: &MetricsSnapshot, run: &PipelineRun, hs: usize, ngrains: u64) {
+    assert_eq!(snap.counter(Counter::EventsCaptured), run.stats.events);
+    assert_eq!(snap.counter(Counter::AccessesCaptured), run.stats.accesses);
+    assert_eq!(snap.counter(Counter::AccessesCaptured), run.exec_accesses);
+    assert_eq!(snap.counter(Counter::BytesEncoded), run.stats.encoded_bytes);
+    // `validate` decodes for checking but does not count; the per-grain
+    // replays each decode the full stream once.
+    assert_eq!(
+        snap.counter(Counter::EventsDecoded),
+        ngrains * run.stats.events
+    );
+    assert_eq!(
+        snap.counter(Counter::AccessesDecoded),
+        ngrains * run.stats.accesses
+    );
+    assert_eq!(snap.counter(Counter::GrainsRequested), ngrains);
+    assert_eq!(
+        snap.counter(Counter::GrainsCompleted) + snap.counter(Counter::GrainsFailed),
+        snap.counter(Counter::GrainsRequested)
+    );
+    assert_eq!(snap.counter(Counter::GrainsFailed), 0);
+    assert_eq!(snap.counter(Counter::SweepConfigsScored), hs as u64);
+    assert_eq!(snap.counter(Counter::SweepConfigsFailed), 0);
+    let tracked: u64 = run.profiles.iter().map(|p| p.distinct_blocks).sum();
+    assert_eq!(snap.counter(Counter::BlocksTracked), tracked);
+    let reinserts: u64 = run
+        .profiles
+        .iter()
+        .map(|p| p.total_accesses - p.total_cold())
+        .sum();
+    assert_eq!(snap.counter(Counter::TreeReinserts), reinserts);
+    // Span structure: one capture, one validating decode, one replay span
+    // per grain, one sweep span per hierarchy.
+    assert_eq!(snap.stage(Stage::Capture).count, 1);
+    assert_eq!(snap.stage(Stage::Decode).count, 1);
+    assert_eq!(snap.stage(Stage::Replay).count, ngrains);
+    assert_eq!(snap.stage(Stage::Sweep).count, hs as u64);
+}
+
+#[test]
+fn enabling_obs_changes_nothing() {
+    let _guard = lock();
+    let hs = hierarchies();
+    for w in workloads() {
+        // Phase A: observability fully disabled (the default).
+        obs::uninstall();
+        let baseline = run_pipeline(&w, &hs);
+
+        // Phase B: recorder installed before the pipeline starts.
+        let recorder = Arc::new(MetricsRecorder::new());
+        obs::install(recorder.clone());
+        let observed = run_pipeline(&w, &hs);
+        obs::uninstall();
+
+        assert_eq!(
+            baseline.profiles, observed.profiles,
+            "{}: profiles must be bit-identical with obs enabled",
+            w.program.name()
+        );
+        assert_eq!(
+            baseline.reports, observed.reports,
+            "{}: hierarchy reports must be bit-identical with obs enabled",
+            w.program.name()
+        );
+        let ngrains = grains(&hs).len() as u64;
+        assert_reconciles(&recorder.snapshot(), &observed, hs.len(), ngrains);
+    }
+}
+
+#[test]
+fn installing_obs_mid_run_changes_nothing() {
+    let _guard = lock();
+    let hs = hierarchies();
+    let g = grains(&hs);
+    for w in workloads() {
+        obs::uninstall();
+        let baseline = run_pipeline(&w, &hs);
+
+        // Capture runs dark; the recorder arrives between capture and
+        // replay — the supported "attach to a long-running job" path.
+        let (buffer, exec) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
+        let recorder = Arc::new(MetricsRecorder::new());
+        obs::install(recorder.clone());
+        let (profiles, _timings) = analyze_buffer(&w.program, &buffer, &g).unwrap();
+        obs::uninstall();
+
+        let analysis = AnalysisResult { profiles, exec };
+        let reports: Vec<HierarchyReport> = hs
+            .iter()
+            .map(|h| report_from_analysis(&analysis, h))
+            .collect();
+        assert_eq!(
+            baseline.profiles, analysis.profiles,
+            "{}: profiles must be bit-identical after a mid-run install",
+            w.program.name()
+        );
+        assert_eq!(baseline.reports, reports);
+
+        // Nothing before the install is counted; everything after is.
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(Counter::EventsCaptured), 0);
+        assert_eq!(snap.stage(Stage::Capture).count, 0);
+        assert_eq!(
+            snap.counter(Counter::EventsDecoded),
+            g.len() as u64 * buffer.stats().events
+        );
+        assert_eq!(snap.counter(Counter::GrainsCompleted), g.len() as u64);
+    }
+}
+
+#[test]
+fn locality_analysis_counts_reports() {
+    let _guard = lock();
+    let w = build_sweep(&SweepConfig::new(8));
+    let h = MemoryHierarchy::itanium2_scaled(16);
+
+    obs::uninstall();
+    let baseline = run_locality_analysis(&w.program, &h, w.index_arrays.clone()).unwrap();
+
+    let recorder = Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
+    let observed = run_locality_analysis(&w.program, &h, w.index_arrays.clone()).unwrap();
+    obs::uninstall();
+
+    assert_eq!(baseline.report, observed.report);
+    assert_eq!(
+        baseline.analysis.profiles, observed.analysis.profiles,
+        "locality analysis must be bit-identical with obs enabled"
+    );
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter(Counter::ReportsGenerated), 1);
+    assert_eq!(snap.stage(Stage::Report).count, 1);
+    assert_eq!(snap.stage(Stage::Capture).count, 1);
+    assert_eq!(snap.counter(Counter::SweepConfigsScored), 1);
+}
