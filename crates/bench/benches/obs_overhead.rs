@@ -72,6 +72,17 @@ fn bench_obs_overhead(c: &mut Criterion) {
         disabled.as_secs_f64() * 1e3,
         enabled.as_secs_f64() * 1e3,
     );
+
+    // Track the figure across PRs: merge it into BENCH_reuselens.json
+    // (repo root, or $BENCH_JSON) instead of leaving it stdout-only.
+    let bench_json = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reuselens.json").to_string()
+    });
+    match reuselens_bench::report::record_overhead_ratio(std::path::Path::new(&bench_json), ratio)
+    {
+        Ok(()) => println!("obs_overhead/ratio recorded in {bench_json}"),
+        Err(e) => eprintln!("obs_overhead/ratio not recorded ({bench_json}: {e})"),
+    }
 }
 
 criterion_group!(benches, bench_obs_overhead);

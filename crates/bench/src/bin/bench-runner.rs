@@ -1,0 +1,227 @@
+//! The perf-regression bench runner: measures replay throughput on the
+//! fixed Sweep3D and GTC workloads at several grain counts and writes the
+//! machine-readable `BENCH_reuselens.json` (schema documented in
+//! `reuselens_bench::report`).
+//!
+//! ```text
+//! bench-runner [--smoke] [--out <path>] [--baseline <path>]
+//! ```
+//!
+//! * `--smoke` — tiny workloads and one rep per point; exercises the full
+//!   measurement and JSON path in ~a second (what `scripts/verify.sh`
+//!   runs so the path cannot silently rot).
+//! * `--out <path>` — where to write the report (default
+//!   `BENCH_reuselens.json` in the current directory).
+//! * `--baseline <path>` — also diff against a previous report and exit
+//!   nonzero when any throughput line drops more than 15%
+//!   ([`REGRESSION_THRESHOLD`](reuselens_bench::report::REGRESSION_THRESHOLD)).
+//!
+//! Each measured point captures the workload once, then replays the
+//! buffer `grains`-ways in parallel under a fresh `MetricsRecorder`
+//! (best-of-reps wall), so the report carries the per-stage wall-time
+//! breakdown and a counter snapshot alongside the throughput. The
+//! obs-overhead ratio (enabled vs disabled recorder) is measured on the
+//! first workload and written into the same report.
+
+use reuselens::core::{analyze_buffer, capture_program};
+use reuselens::obs::{self, MetricsRecorder};
+use reuselens::workloads::{gtc, sweep3d, BuiltWorkload};
+use reuselens_bench::report::{diff, BenchReport, BenchRun};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: bench-runner [--smoke] [--out <path>] [--baseline <path>]";
+
+/// Block sizes grain counts index into: replaying `GRAIN_LADDER[..k]`
+/// measures k-way replay parallelism over one shared capture.
+const GRAIN_LADDER: [u64; 4] = [64, 256, 4096, 16 * 1024];
+
+struct Options {
+    smoke: bool,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        out: PathBuf::from("BENCH_reuselens.json"),
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = PathBuf::from(args.next().ok_or("--out needs a path")?);
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The fixed workload set: `(name, built workload)`.
+fn workloads(smoke: bool) -> Vec<(&'static str, BuiltWorkload)> {
+    if smoke {
+        vec![
+            (
+                "sweep3d",
+                sweep3d::build(&sweep3d::SweepConfig::new(4).with_timesteps(1)),
+            ),
+            ("gtc", gtc::build(&gtc::GtcConfig::new(32, 2).with_timesteps(1))),
+        ]
+    } else {
+        vec![
+            (
+                "sweep3d",
+                sweep3d::build(&sweep3d::SweepConfig::new(10).with_timesteps(2)),
+            ),
+            ("gtc", gtc::build(&gtc::GtcConfig::new(256, 8).with_timesteps(1))),
+        ]
+    }
+}
+
+/// Best-of-`reps` wall time of one multi-grain replay.
+fn best_replay_wall(
+    program: &reuselens::ir::Program,
+    buffer: &reuselens::trace::TraceBuffer,
+    grains: &[u64],
+    reps: usize,
+) -> Duration {
+    (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(analyze_buffer(program, buffer, grains).expect("replay"));
+            t.elapsed()
+        })
+        .min()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Folds a snapshot's nonzero counters into the report-wide totals.
+fn accumulate_counters(totals: &mut BTreeMap<&'static str, u64>, snap: &obs::MetricsSnapshot) {
+    for counter in obs::Counter::ALL {
+        let value = snap.counter(counter);
+        if value != 0 {
+            *totals.entry(counter.name()).or_default() += value;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (reps, grain_counts): (usize, &[usize]) =
+        if opts.smoke { (1, &[1, 2]) } else { (3, &[1, 2, 4]) };
+
+    let mut report = BenchReport::new();
+    let mut counter_totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+
+    for (name, w) in workloads(opts.smoke) {
+        // Capture once per workload, instrumented so the capture stage and
+        // counters land in the report's totals.
+        let capture_rec = Arc::new(MetricsRecorder::new());
+        obs::install(capture_rec.clone());
+        let (buffer, _exec) =
+            capture_program(&w.program, w.index_arrays.clone()).expect("capture");
+        obs::uninstall();
+        accumulate_counters(&mut counter_totals, &capture_rec.snapshot());
+
+        // Warm the page cache / allocator before the measured reps.
+        best_replay_wall(&w.program, &buffer, &GRAIN_LADDER[..1], 1);
+
+        for &count in grain_counts {
+            let grains = &GRAIN_LADDER[..count];
+            let recorder = Arc::new(MetricsRecorder::new());
+            obs::install(recorder.clone());
+            let wall = best_replay_wall(&w.program, &buffer, grains, reps);
+            obs::uninstall();
+            let snap = recorder.snapshot();
+            accumulate_counters(&mut counter_totals, &snap);
+            let stage_seconds = obs::Stage::PIPELINE_ORDER
+                .iter()
+                .map(|&stage| snap.stage(stage))
+                .filter(|stats| stats.count > 0)
+                .map(|stats| (stats.stage.name().to_string(), stats.total.as_secs_f64()))
+                .collect();
+            let run = BenchRun {
+                workload: name.to_string(),
+                grains: count as u64,
+                events: buffer.events(),
+                wall_seconds: wall.as_secs_f64(),
+                stage_seconds,
+            };
+            eprintln!(
+                "{name}/{count}: {} events x {count} grains in {:.3} ms ({:.0} ev/s)",
+                run.events,
+                wall.as_secs_f64() * 1e3,
+                run.throughput(),
+            );
+            report.runs.push(run);
+        }
+
+        // Obs overhead on the first workload: same replay with and
+        // without a recorder installed, best-of to damp scheduler noise.
+        if report.obs_overhead_ratio.is_none() {
+            let grains = &GRAIN_LADDER[..2];
+            let disabled = best_replay_wall(&w.program, &buffer, grains, reps);
+            obs::install(Arc::new(MetricsRecorder::new()));
+            let enabled = best_replay_wall(&w.program, &buffer, grains, reps);
+            obs::uninstall();
+            let ratio = enabled.as_secs_f64() / disabled.as_secs_f64().max(f64::MIN_POSITIVE);
+            eprintln!("obs overhead ratio: {ratio:.3}x (target <= 1.10x)");
+            report.obs_overhead_ratio = Some(ratio);
+        }
+    }
+
+    report.counters = counter_totals
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+
+    if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} (overall {:.0} ev/s)",
+        opts.out.display(),
+        report.throughput()
+    );
+
+    if let Some(baseline_path) = &opts.baseline {
+        let baseline = match std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| BenchReport::from_json(&text))
+        {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = diff(&baseline, &report);
+        print!("{}", outcome.render());
+        if outcome.regressed {
+            eprintln!("throughput regressed more than 15% against the baseline");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

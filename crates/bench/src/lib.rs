@@ -8,6 +8,8 @@
 //! sizes for a full-scale run.
 
 pub mod harness;
+pub mod json;
+pub mod report;
 
 use reuselens::cache::MemoryHierarchy;
 

@@ -99,7 +99,10 @@ pub fn try_report_from_analysis(
     analysis: &AnalysisResult,
     hierarchy: &MemoryHierarchy,
 ) -> Result<HierarchyReport, ReuseLensError> {
-    let _span = obs::span(obs::Stage::Sweep);
+    let _span = obs::span_with(obs::Stage::Sweep, || obs::TimelineArgs {
+        hierarchy: Some(hierarchy.name.clone()),
+        ..obs::TimelineArgs::default()
+    });
     let result = build_report(analysis, hierarchy);
     match &result {
         Ok(_) => obs::add(obs::Counter::SweepConfigsScored, 1),

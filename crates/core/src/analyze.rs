@@ -436,20 +436,29 @@ fn replay_grain(
     buffer: &TraceBuffer,
     block_size: u64,
     opts: &AnalyzeOptions,
-) -> Result<(ReuseProfile, ReplayTiming), GrainError> {
-    let _span = obs::span(obs::Stage::Replay);
+) -> Result<(ReuseProfile, ReplayTiming, u64), GrainError> {
+    let mut span = obs::span_with(obs::Stage::Replay, || obs::TimelineArgs {
+        grain: Some(block_size),
+        ..obs::TimelineArgs::default()
+    });
     let start = Instant::now();
-    let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<ReuseProfile, GrainError> {
-        let mut analyzer = ReuseAnalyzer::new(program, block_size);
-        if opts.validate || !opts.budget.is_unlimited() {
-            replay_guarded(buffer, &mut analyzer, &opts.budget)?;
-        } else {
-            buffer.replay(&mut analyzer);
-        }
-        Ok(analyzer.finish())
-    }));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(
+        || -> Result<(ReuseProfile, u64), GrainError> {
+            let mut analyzer = ReuseAnalyzer::new(program, block_size);
+            if opts.validate || !opts.budget.is_unlimited() {
+                replay_guarded(buffer, &mut analyzer, &opts.budget)?;
+            } else {
+                buffer.replay(&mut analyzer);
+            }
+            // The order-statistic tree only grows during a replay, so its
+            // final size is also its peak; measured before `finish`
+            // consumes the analyzer.
+            let tree_nodes = analyzer.tree_nodes() as u64;
+            Ok((analyzer.finish(), tree_nodes))
+        },
+    ));
     match outcome {
-        Ok(Ok(profile)) => {
+        Ok(Ok((profile, tree_nodes))) => {
             obs::add(obs::Counter::BlocksTracked, profile.distinct_blocks);
             // Every measured (non-cold) reuse re-keys its block's node on
             // the order-statistic tree with one fused reinsert.
@@ -457,12 +466,18 @@ fn replay_grain(
                 obs::Counter::TreeReinserts,
                 profile.total_accesses - profile.total_cold(),
             );
+            span.record(|args| {
+                args.events = Some(buffer.events());
+                args.distinct_blocks = Some(profile.distinct_blocks);
+                args.tree_nodes = Some(tree_nodes);
+            });
             Ok((
                 profile,
                 ReplayTiming {
                     block_size,
                     wall: start.elapsed(),
                 },
+                tree_nodes,
             ))
         }
         Ok(Err(e)) => Err(e),
@@ -487,7 +502,7 @@ pub fn analyze_buffer_with(
     opts: &AnalyzeOptions,
 ) -> PartialAnalysis {
     obs::add(obs::Counter::GrainsRequested, block_sizes.len() as u64);
-    let outcomes: Vec<Result<(ReuseProfile, ReplayTiming), GrainError>> =
+    let outcomes: Vec<Result<(ReuseProfile, ReplayTiming, u64), GrainError>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = block_sizes
                 .iter()
@@ -508,24 +523,44 @@ pub fn analyze_buffer_with(
     let mut replays = Vec::new();
     let mut failures = Vec::new();
     for (&block_size, outcome) in block_sizes.iter().zip(outcomes) {
-        let outcome = match outcome {
+        let (outcome, retried) = match outcome {
             // A panicked grain gets one sequential retry on an otherwise
             // idle machine; decode and budget failures are deterministic,
             // so retrying them would only repeat the work.
             Err(GrainError::Panicked(_)) if opts.retry => {
                 obs::add(obs::Counter::GrainsRetried, 1);
-                replay_grain(program, buffer, block_size, opts).map_err(|e| (e, true))
+                (replay_grain(program, buffer, block_size, opts), true)
             }
-            other => other.map_err(|e| (e, false)),
+            other => (other, false),
         };
         match outcome {
-            Ok((profile, timing)) => {
+            Ok((profile, timing, tree_nodes)) => {
                 obs::add(obs::Counter::GrainsCompleted, 1);
+                obs::record_grain(&obs::GrainProfile {
+                    block_size,
+                    wall: timing.wall,
+                    events: buffer.events(),
+                    distinct_blocks: profile.distinct_blocks,
+                    tree_nodes,
+                    status: if retried {
+                        obs::GrainStatus::Retried
+                    } else {
+                        obs::GrainStatus::Completed
+                    },
+                });
                 profiles.push(profile);
                 replays.push(timing);
             }
-            Err((error, retried)) => {
+            Err(error) => {
                 obs::add(obs::Counter::GrainsFailed, 1);
+                obs::record_grain(&obs::GrainProfile {
+                    block_size,
+                    wall: Duration::ZERO,
+                    events: 0,
+                    distinct_blocks: 0,
+                    tree_nodes: 0,
+                    status: obs::GrainStatus::Failed,
+                });
                 failures.push(FailureReport {
                     block_size,
                     error,

@@ -96,7 +96,10 @@ pub fn run_locality_analysis(
         analyze_buffer(program, &buffer, &grains).unwrap_or_else(|e| panic!("{e}"));
     let analysis = AnalysisResult { profiles, exec };
     let report = report_from_analysis(&analysis, hierarchy);
-    let _span = obs::span(obs::Stage::Report);
+    let _span = obs::span_with(obs::Stage::Report, || obs::TimelineArgs {
+        hierarchy: Some(hierarchy.name.clone()),
+        ..obs::TimelineArgs::default()
+    });
     let sa = StaticAnalysis::analyze(program, &analysis.exec);
     let cache_metrics = report
         .levels

@@ -5,7 +5,8 @@
 //! timings and compare entire rendered strings, which keeps the formats
 //! stable without depending on the machine's clock.
 
-use crate::{Counter, Gauge, MetricsSnapshot};
+use crate::{Counter, Gauge, MetricsSnapshot, Stage};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -58,7 +59,81 @@ pub fn format_prometheus(snapshot: &MetricsSnapshot) -> String {
             span.total.as_secs_f64()
         );
     }
+    format_prometheus_grains(snapshot, &mut out);
     out
+}
+
+/// Appends the per-grain attribution families, aggregated across the
+/// snapshot's [`GrainProfile`](crate::GrainProfile) rows: replay counts by
+/// `(grain, status)`, and wall seconds / events / peak tree nodes by
+/// grain. HELP/TYPE headers are emitted even with no rows so the family
+/// set stays stable; the labeled series themselves are data-driven.
+fn format_prometheus_grains(snapshot: &MetricsSnapshot, out: &mut String) {
+    let mut replays: BTreeMap<(u64, &str), u64> = BTreeMap::new();
+    let mut seconds: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut events: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut tree_nodes: BTreeMap<u64, u64> = BTreeMap::new();
+    for grain in &snapshot.grains {
+        *replays.entry((grain.block_size, grain.status.name())).or_default() += 1;
+        *seconds.entry(grain.block_size).or_default() += grain.wall.as_secs_f64();
+        *events.entry(grain.block_size).or_default() += grain.events;
+        let peak = tree_nodes.entry(grain.block_size).or_default();
+        *peak = (*peak).max(grain.tree_nodes);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP reuselens_grain_replays_total Replays recorded per grain and status."
+    );
+    let _ = writeln!(out, "# TYPE reuselens_grain_replays_total counter");
+    for ((grain, status), count) in &replays {
+        let _ = writeln!(
+            out,
+            "reuselens_grain_replays_total{{grain=\"{grain}\",status=\"{status}\"}} {count}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP reuselens_grain_seconds_total Wall-clock seconds spent replaying per grain."
+    );
+    let _ = writeln!(out, "# TYPE reuselens_grain_seconds_total counter");
+    for (grain, secs) in &seconds {
+        let _ = writeln!(
+            out,
+            "reuselens_grain_seconds_total{{grain=\"{grain}\"}} {secs:.9}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP reuselens_grain_events_total Events replayed per grain."
+    );
+    let _ = writeln!(out, "# TYPE reuselens_grain_events_total counter");
+    for (grain, n) in &events {
+        let _ = writeln!(out, "reuselens_grain_events_total{{grain=\"{grain}\"}} {n}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP reuselens_grain_tree_nodes_peak Peak order-statistic-tree nodes per grain."
+    );
+    let _ = writeln!(out, "# TYPE reuselens_grain_tree_nodes_peak gauge");
+    for (grain, n) in &tree_nodes {
+        let _ = writeln!(
+            out,
+            "reuselens_grain_tree_nodes_peak{{grain=\"{grain}\"}} {n}"
+        );
+    }
+}
+
+/// Formats an events-per-second rate with a deterministic unit ladder.
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K/s", rate / 1e3)
+    } else {
+        format!("{rate:.0} /s")
+    }
 }
 
 /// Formats a duration with a deterministic unit ladder (`0 ns` exactly
@@ -79,8 +154,10 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 /// Renders a snapshot as a human-readable summary: per-stage span table
-/// first (stages indented by their deepest observed nesting), then every
-/// non-uninteresting counter, then the budget gauges when any is set.
+/// first (stages in pipeline order — capture → decode → replay → sweep →
+/// report — indented by their deepest observed nesting, zero-invocation
+/// stages skipped), then the per-grain cost table when grains were
+/// profiled, then every counter, then the budget gauges when any is set.
 /// This is what the CLI prints to stderr as its timing footer.
 pub fn format_summary(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
@@ -90,19 +167,45 @@ pub fn format_summary(snapshot: &MetricsSnapshot) -> String {
         "{:<24} {:>6} {:>12} {:>12}",
         "stage", "spans", "total", "mean"
     );
-    for span in &snapshot.spans {
+    for stage in Stage::PIPELINE_ORDER {
+        let span = snapshot.stage(stage);
+        if span.count == 0 {
+            continue;
+        }
         let indent = "  ".repeat(span.max_depth.max(1) as usize);
         let name = format!("{indent}{}", span.stage.name());
-        if span.count == 0 {
-            let _ = writeln!(out, "{:<24} {:>6} {:>12} {:>12}", name, 0, "-", "-");
-        } else {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>12} {:>12}",
+            name,
+            span.count,
+            fmt_duration(span.total),
+            fmt_duration(span.mean()),
+        );
+    }
+    if !snapshot.grains.is_empty() {
+        let _ = writeln!(out, "grain profiles");
+        let _ = writeln!(
+            out,
+            "  {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "grain", "status", "wall", "events", "events/s", "blocks", "tree"
+        );
+        for grain in &snapshot.grains {
+            let rate = if grain.wall.is_zero() {
+                "-".to_string()
+            } else {
+                fmt_rate(grain.events_per_second())
+            };
             let _ = writeln!(
                 out,
-                "{:<24} {:>6} {:>12} {:>12}",
-                name,
-                span.count,
-                fmt_duration(span.total),
-                fmt_duration(span.mean()),
+                "  {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+                grain.block_size,
+                grain.status.name(),
+                fmt_duration(grain.wall),
+                grain.events,
+                rate,
+                grain.distinct_blocks,
+                grain.tree_nodes,
             );
         }
     }
@@ -149,8 +252,68 @@ mod tests {
                 stage.name()
             )));
         }
-        // Exposition-format hygiene: HELP/TYPE pairs for every family.
-        assert_eq!(text.matches("# TYPE").count(), Counter::ALL.len() + Gauge::ALL.len() + 2);
+        // Exposition-format hygiene: HELP/TYPE pairs for every family
+        // (two stage families plus four per-grain families).
+        assert_eq!(text.matches("# TYPE").count(), Counter::ALL.len() + Gauge::ALL.len() + 6);
+    }
+
+    #[test]
+    fn rate_ladder_is_deterministic() {
+        assert_eq!(fmt_rate(0.0), "0 /s");
+        assert_eq!(fmt_rate(999.0), "999 /s");
+        assert_eq!(fmt_rate(1_500.0), "1.50 K/s");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50 M/s");
+        assert_eq!(fmt_rate(3_000_000_000.0), "3.00 G/s");
+    }
+
+    #[test]
+    fn summary_skips_zero_invocation_stages() {
+        let rec = MetricsRecorder::new();
+        rec.record_span(Stage::Replay, Duration::from_millis(1), 1);
+        let text = format_summary(&rec.snapshot());
+        // Stage rows are left-padded names followed by column padding;
+        // counter names like `events_captured` never match `capture `.
+        assert!(text.contains("replay "));
+        assert!(!text.contains("capture "), "zero-invocation stages are skipped");
+        assert!(!text.contains("sweep "));
+    }
+
+    #[test]
+    fn summary_and_prometheus_render_grain_profiles() {
+        use crate::{GrainProfile, GrainStatus};
+        let rec = MetricsRecorder::new();
+        rec.record_grain(&GrainProfile {
+            block_size: 64,
+            wall: Duration::from_secs(2),
+            events: 4_000_000,
+            distinct_blocks: 1000,
+            tree_nodes: 1000,
+            status: GrainStatus::Completed,
+        });
+        rec.record_grain(&GrainProfile {
+            block_size: 128,
+            wall: Duration::ZERO,
+            events: 0,
+            distinct_blocks: 0,
+            tree_nodes: 0,
+            status: GrainStatus::Failed,
+        });
+        let snap = rec.snapshot();
+        let summary = format_summary(&snap);
+        assert!(summary.contains("grain profiles"));
+        assert!(summary.contains("completed"));
+        assert!(summary.contains("2.00 M/s"));
+        assert!(summary.contains("failed"));
+        let prom = format_prometheus(&snap);
+        assert!(prom.contains(
+            "reuselens_grain_replays_total{grain=\"64\",status=\"completed\"} 1"
+        ));
+        assert!(prom.contains(
+            "reuselens_grain_replays_total{grain=\"128\",status=\"failed\"} 1"
+        ));
+        assert!(prom.contains("reuselens_grain_seconds_total{grain=\"64\"} 2.000000000"));
+        assert!(prom.contains("reuselens_grain_events_total{grain=\"64\"} 4000000"));
+        assert!(prom.contains("reuselens_grain_tree_nodes_peak{grain=\"64\"} 1000"));
     }
 
     #[test]

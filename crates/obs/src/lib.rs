@@ -62,9 +62,13 @@
 
 mod export;
 mod recorder;
+mod timeline;
 
 pub use export::{format_prometheus, format_summary};
-pub use recorder::{MetricsRecorder, MetricsSnapshot, Recorder, SpanStats};
+pub use recorder::{
+    GrainProfile, GrainStatus, MetricsRecorder, MetricsSnapshot, Recorder, SpanStats,
+};
+pub use timeline::{format_chrome_trace, Timeline, TimelineArgs, TimelineEvent, TimelineSnapshot};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,8 +94,19 @@ pub enum Stage {
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
+    /// Every stage, in dense-index order (used for metric storage).
     pub const ALL: [Stage; 5] = [
+        Stage::Capture,
+        Stage::Decode,
+        Stage::Replay,
+        Stage::Sweep,
+        Stage::Report,
+    ];
+
+    /// Every stage in the order the pipeline executes them:
+    /// capture → decode → replay → sweep → report. Exporters print
+    /// stages in this order, independent of the enum's index layout.
+    pub const PIPELINE_ORDER: [Stage; 5] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
@@ -149,11 +164,13 @@ pub enum Counter {
     SweepConfigsFailed,
     /// Attribution reports generated.
     ReportsGenerated,
+    /// Timeline events dropped by full ring-buffer shards.
+    TimelineDropped,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 15] = [
         Counter::EventsCaptured,
         Counter::AccessesCaptured,
         Counter::BytesEncoded,
@@ -168,6 +185,7 @@ impl Counter {
         Counter::SweepConfigsScored,
         Counter::SweepConfigsFailed,
         Counter::ReportsGenerated,
+        Counter::TimelineDropped,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -188,6 +206,7 @@ impl Counter {
             Counter::SweepConfigsScored => "sweep_configs_scored",
             Counter::SweepConfigsFailed => "sweep_configs_failed",
             Counter::ReportsGenerated => "reports_generated",
+            Counter::TimelineDropped => "timeline_dropped",
         }
     }
 
@@ -212,6 +231,7 @@ impl Counter {
             Counter::SweepConfigsScored => "Candidate hierarchies scored successfully.",
             Counter::SweepConfigsFailed => "Candidate hierarchies that failed scoring.",
             Counter::ReportsGenerated => "Attribution reports generated.",
+            Counter::TimelineDropped => "Timeline events dropped by full ring-buffer shards.",
         }
     }
 
@@ -271,6 +291,8 @@ impl Gauge {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+static TIMELINE_ENABLED: AtomicBool = AtomicBool::new(false);
+static TIMELINE: RwLock<Option<Arc<Timeline>>> = RwLock::new(None);
 
 thread_local! {
     /// Nesting depth of open spans on this thread (1 = top level).
@@ -319,6 +341,44 @@ pub fn uninstall() -> Option<Arc<dyn Recorder>> {
     slot.take()
 }
 
+/// True when a timeline is installed. Like [`enabled`], one relaxed load.
+#[inline]
+pub fn timeline_enabled() -> bool {
+    TIMELINE_ENABLED.load(Ordering::Relaxed)
+}
+
+fn timeline_slot() -> RwLockReadGuard<'static, Option<Arc<Timeline>>> {
+    match TIMELINE.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs a timeline process-wide, returning the previous one if any.
+/// Only spans that *close* while a timeline is installed are recorded
+/// (see [`Timeline`] for the mid-run install/uninstall semantics), so a
+/// timeline can be attached to a long-running pipeline at any point.
+pub fn install_timeline(timeline: Arc<Timeline>) -> Option<Arc<Timeline>> {
+    let mut slot = match TIMELINE.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let previous = slot.replace(timeline);
+    TIMELINE_ENABLED.store(true, Ordering::SeqCst);
+    previous
+}
+
+/// Disables timeline recording and removes the installed timeline,
+/// returning it so callers can snapshot and export it.
+pub fn uninstall_timeline() -> Option<Arc<Timeline>> {
+    TIMELINE_ENABLED.store(false, Ordering::SeqCst);
+    let mut slot = match TIMELINE.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slot.take()
+}
+
 /// Adds a bulk delta to a counter. A no-op branch when disabled.
 #[inline]
 pub fn add(counter: Counter, delta: u64) {
@@ -343,11 +403,23 @@ pub fn set_gauge(gauge: Gauge, value: u64) {
 
 /// Opens a timing span for a pipeline stage. The returned guard records
 /// the elapsed wall time (and the thread-local nesting depth) when
-/// dropped. When disabled the guard is inert: no clock is read on open or
-/// close.
+/// dropped — to the installed recorder as aggregate stage timing, and to
+/// the installed timeline as one [`TimelineEvent`]. When neither is
+/// installed the guard is inert: no clock is read on open or close.
 #[inline]
 pub fn span(stage: Stage) -> SpanGuard {
-    if !enabled() {
+    span_with(stage, TimelineArgs::default)
+}
+
+/// Opens a timing span carrying typed timeline args. `args` is evaluated
+/// only when a timeline is installed, so call sites can clone names and
+/// build strings inside the closure without cost on the disabled (or
+/// metrics-only) path. Args known only at completion are added through
+/// [`SpanGuard::record`].
+#[inline]
+pub fn span_with(stage: Stage, args: impl FnOnce() -> TimelineArgs) -> SpanGuard {
+    let timeline = timeline_enabled();
+    if !enabled() && !timeline {
         return SpanGuard { armed: None };
     }
     let depth = SPAN_DEPTH.with(|d| {
@@ -360,6 +432,11 @@ pub fn span(stage: Stage) -> SpanGuard {
             stage,
             depth,
             start: Instant::now(),
+            args: if timeline {
+                args()
+            } else {
+                TimelineArgs::default()
+            },
         }),
     }
 }
@@ -369,14 +446,28 @@ struct ArmedSpan {
     stage: Stage,
     depth: u32,
     start: Instant,
+    args: TimelineArgs,
 }
 
-/// Guard returned by [`span`]; reports the stage's elapsed wall time to
-/// the installed recorder on drop. Holds no heap allocation.
+/// Guard returned by [`span`] / [`span_with`]; reports the stage's
+/// elapsed wall time to the installed recorder and its timeline event to
+/// the installed timeline on drop.
 #[derive(Debug)]
 #[must_use = "a span measures the scope it lives in; bind it to a variable"]
 pub struct SpanGuard {
     armed: Option<ArmedSpan>,
+}
+
+impl SpanGuard {
+    /// Mutates the span's timeline args — for values (events replayed,
+    /// final tree size) known only once the measured work completed. A
+    /// no-op on an inert guard.
+    #[inline]
+    pub fn record(&mut self, f: impl FnOnce(&mut TimelineArgs)) {
+        if let Some(armed) = &mut self.armed {
+            f(&mut armed.args);
+        }
+    }
 }
 
 impl Drop for SpanGuard {
@@ -386,13 +477,31 @@ impl Drop for SpanGuard {
         };
         let wall = armed.start.elapsed();
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        // The recorder may have been uninstalled while the span was open;
-        // the measurement is then dropped, never blocked on.
+        // The recorder or timeline may have been uninstalled while the
+        // span was open; the measurement is then dropped, never blocked
+        // on — and a timeline never receives half-open events.
         if enabled() {
             if let Some(recorder) = recorder_slot().as_deref() {
                 recorder.record_span(armed.stage, wall, armed.depth);
             }
         }
+        if timeline_enabled() {
+            if let Some(timeline) = timeline_slot().as_ref() {
+                timeline.record(armed.stage, armed.start, wall, armed.depth, armed.args);
+            }
+        }
+    }
+}
+
+/// Reports one grain's cost profile to the installed recorder. A no-op
+/// branch when disabled; called once per grain by the replay engine.
+#[inline]
+pub fn record_grain(profile: &GrainProfile) {
+    if !enabled() {
+        return;
+    }
+    if let Some(recorder) = recorder_slot().as_deref() {
+        recorder.record_grain(profile);
     }
 }
 

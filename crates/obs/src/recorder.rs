@@ -3,7 +3,64 @@
 use crate::{Counter, Gauge, Stage};
 use std::array;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// How one grain's replay ended, as recorded in its [`GrainProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrainStatus {
+    /// The replay completed on its first attempt.
+    Completed,
+    /// The replay panicked once and completed on its sequential retry.
+    Retried,
+    /// The grain was declared dead after its final attempt.
+    Failed,
+}
+
+impl GrainStatus {
+    /// Stable lowercase name, used as the Prometheus `status` label.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrainStatus::Completed => "completed",
+            GrainStatus::Retried => "retried",
+            GrainStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Per-grain cost attribution: what one grain's replay cost the analyzer,
+/// mirroring the paper's scope-tree attribution but applied to the
+/// analyzer itself. Recorded once per requested grain by the replay
+/// engine; a failed grain reports zeroed measurements and its status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrainProfile {
+    /// The grain (block size in bytes) this replay analyzed.
+    pub block_size: u64,
+    /// Wall time the grain's replay thread spent (zero for failures).
+    pub wall: Duration,
+    /// Events replayed through the grain's analyzer.
+    pub events: u64,
+    /// Distinct blocks the grain's analyzer ended with.
+    pub distinct_blocks: u64,
+    /// Peak live order-statistic-tree nodes (equals distinct blocks — the
+    /// tree only grows — but measured independently off the tree).
+    pub tree_nodes: u64,
+    /// How the replay ended.
+    pub status: GrainStatus,
+}
+
+impl GrainProfile {
+    /// Replay throughput in events per second, or zero when the wall time
+    /// is zero (failed grains, zeroed golden snapshots).
+    pub fn events_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
 
 /// Receives instrumentation from the pipeline. Implementations must be
 /// cheap and wait-free-ish: they are called from replay threads with bulk
@@ -18,7 +75,18 @@ pub trait Recorder: Send + Sync {
     /// Records one completed span: its stage, wall time, and the
     /// thread-local nesting depth it ran at (1 = top level).
     fn record_span(&self, stage: Stage, wall: Duration, depth: u32);
+    /// Records one grain's cost profile. Default: ignored, so recorders
+    /// that only aggregate counters need not store a table.
+    fn record_grain(&self, profile: &GrainProfile) {
+        let _ = profile;
+    }
 }
+
+/// Bound on stored grain profiles: one row per grain per run is tiny, but
+/// a recorder left installed across millions of runs must stay bounded.
+/// Past the cap new rows are dropped (the aggregate grain counters keep
+/// counting).
+const MAX_GRAIN_PROFILES: usize = 65_536;
 
 /// The default [`Recorder`]: plain relaxed atomics, no locks, no
 /// allocation after construction. Safe to share across every replay and
@@ -31,6 +99,9 @@ pub struct MetricsRecorder {
     span_counts: [AtomicU64; Stage::ALL.len()],
     span_nanos: [AtomicU64; Stage::ALL.len()],
     span_depths: [AtomicU64; Stage::ALL.len()],
+    // Off the hot path: one push per grain per run, behind a mutex held
+    // for the push only (poison-tolerant like the global slots).
+    grains: Mutex<Vec<GrainProfile>>,
 }
 
 impl MetricsRecorder {
@@ -42,6 +113,7 @@ impl MetricsRecorder {
             span_counts: array::from_fn(|_| AtomicU64::new(0)),
             span_nanos: array::from_fn(|_| AtomicU64::new(0)),
             span_depths: array::from_fn(|_| AtomicU64::new(0)),
+            grains: Mutex::new(Vec::new()),
         }
     }
 
@@ -57,6 +129,10 @@ impl MetricsRecorder {
 
     /// A point-in-time copy of every metric, ready for export.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let grains = match self.grains.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
         MetricsSnapshot {
             counters: Counter::ALL.map(|c| self.counter(c)),
             gauges: Gauge::ALL.map(|g| self.gauge(g)),
@@ -68,6 +144,7 @@ impl MetricsRecorder {
                 ),
                 max_depth: self.span_depths[s.index()].load(Ordering::Relaxed) as u32,
             }),
+            grains,
         }
     }
 }
@@ -94,6 +171,16 @@ impl Recorder for MetricsRecorder {
         let nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
         self.span_nanos[i].fetch_add(nanos, Ordering::Relaxed);
         self.span_depths[i].fetch_max(u64::from(depth), Ordering::Relaxed);
+    }
+
+    fn record_grain(&self, profile: &GrainProfile) {
+        let mut grains = match self.grains.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if grains.len() < MAX_GRAIN_PROFILES {
+            grains.push(profile.clone());
+        }
     }
 }
 
@@ -132,6 +219,8 @@ pub struct MetricsSnapshot {
     pub gauges: [u64; Gauge::ALL.len()],
     /// Per-stage span statistics, index-aligned with [`Stage::ALL`].
     pub spans: [SpanStats; Stage::ALL.len()],
+    /// Per-grain cost profiles, in recording order.
+    pub grains: Vec<GrainProfile>,
 }
 
 impl MetricsSnapshot {
@@ -156,6 +245,9 @@ impl MetricsSnapshot {
     pub fn zero_timings(&mut self) {
         for span in &mut self.spans {
             span.total = Duration::ZERO;
+        }
+        for grain in &mut self.grains {
+            grain.wall = Duration::ZERO;
         }
     }
 

@@ -7,12 +7,13 @@
 //! series, changed help text, shifted columns — fails here first, before
 //! it breaks a downstream scrape config.
 
-use reuselens_obs::{Counter, Gauge, MetricsRecorder, Recorder, Stage};
+use reuselens_obs::{Counter, Gauge, GrainProfile, GrainStatus, MetricsRecorder, Recorder, Stage};
 use std::time::Duration;
 
 /// Every counter at `(index + 1) * 10`, every gauge at `(index + 1) * 7`,
-/// and a span pattern covering nesting (decode under capture), repetition
-/// (two replays), and absence (no report span).
+/// a span pattern covering nesting (decode under capture), repetition
+/// (two replays), and absence (no report span), and a grain-profile set
+/// covering every status plus same-grain aggregation (grain 64 twice).
 fn populated() -> MetricsRecorder {
     let r = MetricsRecorder::new();
     for (i, c) in Counter::ALL.into_iter().enumerate() {
@@ -26,6 +27,30 @@ fn populated() -> MetricsRecorder {
     r.record_span(Stage::Replay, Duration::from_millis(40), 1);
     r.record_span(Stage::Replay, Duration::from_millis(44), 1);
     r.record_span(Stage::Sweep, Duration::from_micros(80), 1);
+    r.record_grain(&GrainProfile {
+        block_size: 64,
+        wall: Duration::from_millis(40),
+        events: 500_000,
+        distinct_blocks: 4096,
+        tree_nodes: 4096,
+        status: GrainStatus::Completed,
+    });
+    r.record_grain(&GrainProfile {
+        block_size: 64,
+        wall: Duration::from_millis(44),
+        events: 500_000,
+        distinct_blocks: 4096,
+        tree_nodes: 4100,
+        status: GrainStatus::Retried,
+    });
+    r.record_grain(&GrainProfile {
+        block_size: 4096,
+        wall: Duration::ZERO,
+        events: 0,
+        distinct_blocks: 0,
+        tree_nodes: 0,
+        status: GrainStatus::Failed,
+    });
     r
 }
 
@@ -71,6 +96,9 @@ reuselens_sweep_configs_failed_total 130
 # HELP reuselens_reports_generated_total Attribution reports generated.
 # TYPE reuselens_reports_generated_total counter
 reuselens_reports_generated_total 140
+# HELP reuselens_timeline_dropped_total Timeline events dropped by full ring-buffer shards.
+# TYPE reuselens_timeline_dropped_total counter
+reuselens_timeline_dropped_total 150
 # HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
 # TYPE reuselens_budget_events gauge
 reuselens_budget_events 7
@@ -94,6 +122,23 @@ reuselens_stage_seconds_total{stage="decode"} 0.000000000
 reuselens_stage_seconds_total{stage="replay"} 0.000000000
 reuselens_stage_seconds_total{stage="sweep"} 0.000000000
 reuselens_stage_seconds_total{stage="report"} 0.000000000
+# HELP reuselens_grain_replays_total Replays recorded per grain and status.
+# TYPE reuselens_grain_replays_total counter
+reuselens_grain_replays_total{grain="64",status="completed"} 1
+reuselens_grain_replays_total{grain="64",status="retried"} 1
+reuselens_grain_replays_total{grain="4096",status="failed"} 1
+# HELP reuselens_grain_seconds_total Wall-clock seconds spent replaying per grain.
+# TYPE reuselens_grain_seconds_total counter
+reuselens_grain_seconds_total{grain="64"} 0.000000000
+reuselens_grain_seconds_total{grain="4096"} 0.000000000
+# HELP reuselens_grain_events_total Events replayed per grain.
+# TYPE reuselens_grain_events_total counter
+reuselens_grain_events_total{grain="64"} 1000000
+reuselens_grain_events_total{grain="4096"} 0
+# HELP reuselens_grain_tree_nodes_peak Peak order-statistic-tree nodes per grain.
+# TYPE reuselens_grain_tree_nodes_peak gauge
+reuselens_grain_tree_nodes_peak{grain="64"} 4100
+reuselens_grain_tree_nodes_peak{grain="4096"} 0
 "#;
 
 const GOLDEN_SUMMARY: &str = "\
@@ -103,7 +148,11 @@ stage                     spans        total         mean
     decode                    1         0 ns         0 ns
   replay                      2         0 ns         0 ns
   sweep                       1         0 ns         0 ns
-  report                      0            -            -
+grain profiles
+     grain     status         wall       events     events/s     blocks       tree
+        64  completed         0 ns       500000            -       4096       4096
+        64    retried         0 ns       500000            -       4096       4100
+      4096     failed         0 ns            0            -          0          0
 counters
   events_captured                          10
   accesses_captured                        20
@@ -119,6 +168,7 @@ counters
   sweep_configs_scored                    120
   sweep_configs_failed                    130
   reports_generated                       140
+  timeline_dropped                        150
 gauges
   budget_events                             7
   budget_distinct_blocks                   14
@@ -138,3 +188,4 @@ fn summary_export_matches_golden() {
     snap.zero_timings();
     assert_eq!(snap.to_summary(), GOLDEN_SUMMARY);
 }
+

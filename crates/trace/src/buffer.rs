@@ -286,7 +286,7 @@ impl TraceBuffer {
     /// all-or-nothing semantics should [`validate`](Self::validate) first
     /// or discard the sink on error.
     pub fn try_replay<S: TraceSink + ?Sized>(&self, sink: &mut S) -> Result<(), DecodeError> {
-        let _span = obs::span(obs::Stage::Decode);
+        let mut span = obs::span(obs::Stage::Decode);
         let mut decoded_events = 0u64;
         let mut decoded_accesses = 0u64;
         let result = (|| {
@@ -328,6 +328,7 @@ impl TraceBuffer {
         // turns out malformed, so it counts either way.
         obs::add(obs::Counter::EventsDecoded, decoded_events);
         obs::add(obs::Counter::AccessesDecoded, decoded_accesses);
+        span.record(|args| args.events = Some(decoded_events));
         result
     }
 
@@ -341,9 +342,13 @@ impl TraceBuffer {
     /// [`replay`](Self::replay) and [`iter`](Self::iter) will decode this
     /// buffer without panicking and will reproduce a well-formed stream.
     pub fn validate(&self) -> Result<(), DecodeError> {
-        let _span = obs::span(obs::Stage::Decode);
+        let mut span = obs::span(obs::Stage::Decode);
         let mut dec = Decoder::new(self)?;
-        while dec.next_event()?.is_some() {}
+        let mut events = 0u64;
+        while dec.next_event()?.is_some() {
+            events += 1;
+        }
+        span.record(|args| args.events = Some(events));
         dec.finish()
     }
 

@@ -19,11 +19,25 @@ cargo test -q --test fault_tolerance
 
 # Differential/property suites, named explicitly for the same reason: the
 # analyzer-vs-oracle property suite, the model-vs-simulator differential
-# suite, the obs does-not-change-results identity suite, and the exporter
+# suite, the obs does-not-change-results identity suite (now also the
+# timeline/GrainProfile/counter reconciliation), and the exporter
 # golden snapshots.
 cargo test -q -p reuselens-core --test property_oracle
 cargo test -q -p reuselens-cache --test model_vs_sim
 cargo test -q --test obs_identity
 cargo test -q -p reuselens-obs --test exporter_golden
 
+# Timeline + bench-harness suites: ring-buffer overflow/concurrency/
+# mid-run install semantics, the byte-exact Chrome trace golden, and the
+# bench report/JSON layer (including the regression trip-wire test).
+cargo test -q -p reuselens-obs --test timeline_ring
+cargo test -q -p reuselens-obs --test timeline_golden
+cargo test -q -p reuselens-bench --lib
+
 cargo clippy --workspace --all-targets --no-deps -- -D warnings
+
+# Informational perf smoke: exercises the bench-runner end to end and
+# refreshes a throwaway snapshot, but never gates on machine speed (no
+# --baseline here; diff against a committed BENCH_reuselens.json by hand).
+cargo run --release -q -p reuselens-bench --bin bench-runner -- \
+    --smoke --out target/bench_smoke.json

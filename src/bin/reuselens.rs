@@ -79,6 +79,9 @@ COMMON OPTIONS:
     --metrics <PATH> write pipeline metrics (Prometheus text) to PATH
                     ('-' for stdout) and print a per-stage timing
                     footer to stderr
+    --trace-timeline <PATH>  write a Chrome trace-event timeline of the
+                    pipeline's spans to PATH ('-' for stdout); open in
+                    chrome://tracing or https://ui.perfetto.dev
     --save-profile <PATH>   save the measured reuse profiles for `predict`
     --size <N>      problem-size tag stored with --save-profile
 
@@ -90,14 +93,22 @@ EXAMPLES:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_target = args
-        .windows(2)
-        .find(|w| w[0] == "--metrics")
-        .map(|w| w[1].clone());
+    let flag_value = |key: &str| {
+        args.windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].clone())
+    };
+    let metrics_target = flag_value("--metrics");
+    let timeline_target = flag_value("--trace-timeline");
     let recorder = metrics_target.as_ref().map(|_| {
         let r = std::sync::Arc::new(MetricsRecorder::new());
         obs::install(r.clone());
         r
+    });
+    let timeline = timeline_target.as_ref().map(|_| {
+        let t = std::sync::Arc::new(obs::Timeline::new());
+        obs::install_timeline(t.clone());
+        t
     });
     let result = run(&args);
     if let (Some(target), Some(recorder)) = (&metrics_target, &recorder) {
@@ -109,6 +120,22 @@ fn main() -> ExitCode {
             print!("{text}");
         } else if let Err(e) = std::fs::write(target, text) {
             eprintln!("error: cannot write metrics to {target}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let (Some(target), Some(timeline)) = (&timeline_target, &timeline) {
+        obs::uninstall_timeline();
+        let snapshot = timeline.snapshot();
+        eprintln!(
+            "timeline: {} events, {} dropped",
+            snapshot.events.len(),
+            snapshot.dropped
+        );
+        let text = snapshot.to_chrome_trace();
+        if target == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(target, text) {
+            eprintln!("error: cannot write timeline to {target}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -295,7 +322,10 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
             continue;
         }
         if a.starts_with("--") {
-            skip = matches!(a.as_str(), "--at" | "--level" | "--scale" | "--metrics");
+            skip = matches!(
+                a.as_str(),
+                "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline"
+            );
             continue;
         }
         files.push(a.clone());

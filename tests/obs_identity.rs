@@ -15,7 +15,7 @@
 use reuselens::cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
 use reuselens::core::{analyze_buffer, capture_program, AnalysisResult, ReuseProfile};
 use reuselens::metrics::run_locality_analysis;
-use reuselens::obs::{self, Counter, MetricsRecorder, MetricsSnapshot, Stage};
+use reuselens::obs::{self, Counter, GrainStatus, MetricsRecorder, MetricsSnapshot, Stage, Timeline};
 use reuselens::trace::BufferStats;
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
 use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
@@ -152,6 +152,84 @@ fn enabling_obs_changes_nothing() {
         );
         let ngrains = grains(&hs).len() as u64;
         assert_reconciles(&recorder.snapshot(), &observed, hs.len(), ngrains);
+    }
+}
+
+#[test]
+fn enabling_timeline_changes_nothing_and_reconciles_with_grain_profiles() {
+    let _guard = lock();
+    let hs = hierarchies();
+    let g = grains(&hs);
+    let ngrains = g.len() as u64;
+    for w in workloads() {
+        // Phase A: neither recorder nor timeline installed.
+        obs::uninstall();
+        obs::uninstall_timeline();
+        let baseline = run_pipeline(&w, &hs);
+
+        // Phase B: recorder + timeline, the CLI's
+        // `--metrics` + `--trace-timeline` shape.
+        let recorder = Arc::new(MetricsRecorder::new());
+        let timeline = Arc::new(Timeline::new());
+        obs::install(recorder.clone());
+        obs::install_timeline(timeline.clone());
+        let observed = run_pipeline(&w, &hs);
+        obs::uninstall_timeline();
+        obs::uninstall();
+
+        assert_eq!(
+            baseline.profiles, observed.profiles,
+            "{}: profiles must be bit-identical with the timeline enabled",
+            w.program.name()
+        );
+        assert_eq!(
+            baseline.reports, observed.reports,
+            "{}: hierarchy reports must be bit-identical with the timeline enabled",
+            w.program.name()
+        );
+        let snap = recorder.snapshot();
+        assert_reconciles(&snap, &observed, hs.len(), ngrains);
+
+        // The timeline must tell the same story as the recorder: one
+        // replay event per grain, each carrying exactly the numbers the
+        // matching `GrainProfile` row and the lifecycle counters report.
+        let tsnap = timeline.snapshot();
+        assert_eq!(tsnap.dropped, 0, "default geometry never drops here");
+        let replays: Vec<_> = tsnap.stage_events(Stage::Replay).collect();
+        assert_eq!(replays.len() as u64, ngrains);
+        assert_eq!(replays.len() as u64, snap.counter(Counter::GrainsCompleted));
+        assert_eq!(snap.grains.len() as u64, ngrains);
+
+        let mut timeline_grains: Vec<u64> =
+            replays.iter().map(|e| e.args.grain.expect("replay spans carry their grain")).collect();
+        timeline_grains.sort_unstable();
+        assert_eq!(timeline_grains, g, "one replay event per requested grain");
+
+        for event in &replays {
+            let grain = event.args.grain.unwrap();
+            let profile = snap
+                .grains
+                .iter()
+                .find(|p| p.block_size == grain)
+                .expect("every timeline replay has a GrainProfile row");
+            assert_eq!(profile.status, GrainStatus::Completed);
+            assert_eq!(event.args.events, Some(profile.events));
+            assert_eq!(event.args.distinct_blocks, Some(profile.distinct_blocks));
+            assert_eq!(event.args.tree_nodes, Some(profile.tree_nodes));
+            // Both agree with the pipeline's own ground truth.
+            assert_eq!(profile.events, observed.stats.events);
+            let reuse = observed
+                .profiles
+                .iter()
+                .find(|p| p.block_size == grain)
+                .expect("analysis produced this grain");
+            assert_eq!(profile.distinct_blocks, reuse.distinct_blocks);
+        }
+        // Per-grain event counts sum to the decode lifecycle counter:
+        // every grain replays the full captured stream exactly once.
+        let replayed: u64 = replays.iter().filter_map(|e| e.args.events).sum();
+        assert_eq!(replayed, snap.counter(Counter::EventsDecoded));
+        assert_eq!(replayed, ngrains * observed.stats.events);
     }
 }
 
