@@ -20,10 +20,14 @@
 //! buffer `grains`-ways in parallel under a fresh `MetricsRecorder`
 //! (best-of-reps wall), so the report carries the per-stage wall-time
 //! breakdown and a counter snapshot alongside the throughput. The
-//! obs-overhead ratio (enabled vs disabled recorder) is measured on the
-//! first workload and written into the same report.
+//! obs-overhead ratio (enabled vs disabled recorder) and the sampled
+//! speedup ratio (exact vs 1/100-sampled replay over the full grain
+//! ladder) are measured on the first workload and written into the same
+//! report.
 
-use reuselens::core::{analyze_buffer, capture_program};
+use reuselens::core::{
+    analyze_buffer, analyze_buffer_with, capture_program, AnalyzeOptions, SamplingConfig,
+};
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::workloads::{gtc, sweep3d, BuiltWorkload};
 use reuselens_bench::report::{diff, BenchReport, BenchRun};
@@ -109,6 +113,30 @@ fn best_replay_wall(
         .unwrap_or(Duration::ZERO)
 }
 
+/// Best-of-`reps` wall time of the same multi-grain replay through the
+/// constant-space sampled analyzer at rate 1/100.
+fn best_sampled_replay_wall(
+    program: &reuselens::ir::Program,
+    buffer: &reuselens::trace::TraceBuffer,
+    grains: &[u64],
+    reps: usize,
+) -> Duration {
+    let opts = AnalyzeOptions {
+        sampling: SamplingConfig::fixed(0.01),
+        ..AnalyzeOptions::default()
+    };
+    (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let partial = analyze_buffer_with(program, buffer, grains, &opts);
+            assert!(partial.is_complete(), "sampled replay failed");
+            std::hint::black_box(partial);
+            t.elapsed()
+        })
+        .min()
+        .unwrap_or(Duration::ZERO)
+}
+
 /// Folds a snapshot's nonzero counters into the report-wide totals.
 fn accumulate_counters(totals: &mut BTreeMap<&'static str, u64>, snap: &obs::MetricsSnapshot) {
     for counter in obs::Counter::ALL {
@@ -187,6 +215,18 @@ fn main() -> ExitCode {
             let ratio = enabled.as_secs_f64() / disabled.as_secs_f64().max(f64::MIN_POSITIVE);
             eprintln!("obs overhead ratio: {ratio:.3}x (target <= 1.10x)");
             report.obs_overhead_ratio = Some(ratio);
+        }
+
+        // Sampled rung on the first (Sweep3D) workload: the full grain
+        // ladder replayed exactly and through the 1/100 sampled analyzer;
+        // the ratio is the headline payoff of approximate analysis.
+        if report.sampled_speedup_ratio.is_none() {
+            let grains = &GRAIN_LADDER[..];
+            let exact = best_replay_wall(&w.program, &buffer, grains, reps);
+            let sampled = best_sampled_replay_wall(&w.program, &buffer, grains, reps);
+            let ratio = exact.as_secs_f64() / sampled.as_secs_f64().max(f64::MIN_POSITIVE);
+            eprintln!("sampled speedup ratio: {ratio:.2}x at rate 1/100 (target >= 3x)");
+            report.sampled_speedup_ratio = Some(ratio);
         }
     }
 

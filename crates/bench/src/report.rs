@@ -8,6 +8,7 @@
 //!   "schema": "reuselens-bench/v1",
 //!   "throughput_events_per_second": 12345678.9,
 //!   "obs_overhead_ratio": 1.04,
+//!   "sampled_speedup_ratio": 4.2,
 //!   "runs": [
 //!     {
 //!       "workload": "sweep3d",
@@ -29,6 +30,9 @@
 //!   `MetricsRecorder` installed (target ≤ 1.10x); `null` until measured.
 //!   `benches/obs_overhead.rs` also writes its measured ratio here via
 //!   [`record_overhead_ratio`], so the figure is tracked across PRs.
+//! * `sampled_speedup_ratio` is exact-mode replay wall time divided by
+//!   sampled-mode (rate 1/100) replay wall time on the largest Sweep3D
+//!   ladder rung (target ≥ 3x); `null` until measured.
 //! * `runs[]` each hold one workload × grain-count measurement;
 //!   `stage_seconds` is the pipeline stage wall-time breakdown from the
 //!   run's `MetricsRecorder` snapshot and `events` counts events replayed
@@ -87,6 +91,8 @@ pub struct BenchReport {
     pub counters: Vec<(String, u64)>,
     /// Enabled/disabled replay ratio from the obs-overhead measurement.
     pub obs_overhead_ratio: Option<f64>,
+    /// Exact/sampled replay wall-time ratio from the sampled ladder rung.
+    pub sampled_speedup_ratio: Option<f64>,
 }
 
 impl BenchReport {
@@ -96,6 +102,7 @@ impl BenchReport {
             runs: Vec::new(),
             counters: Vec::new(),
             obs_overhead_ratio: None,
+            sampled_speedup_ratio: None,
         }
     }
 
@@ -149,6 +156,13 @@ impl BenchReport {
             (
                 "obs_overhead_ratio".into(),
                 match self.obs_overhead_ratio {
+                    Some(r) => Json::Num(r),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "sampled_speedup_ratio".into(),
+                match self.sampled_speedup_ratio {
                     Some(r) => Json::Num(r),
                     None => Json::Null,
                 },
@@ -211,6 +225,7 @@ impl BenchReport {
             runs,
             counters,
             obs_overhead_ratio: doc.get("obs_overhead_ratio").and_then(Json::as_f64),
+            sampled_speedup_ratio: doc.get("sampled_speedup_ratio").and_then(Json::as_f64),
         })
     }
 }
@@ -338,6 +353,7 @@ mod tests {
             runs,
             counters: vec![("events_decoded".to_string(), 12345)],
             obs_overhead_ratio: Some(1.05),
+            sampled_speedup_ratio: Some(4.2),
         }
     }
 

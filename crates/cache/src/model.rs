@@ -238,6 +238,7 @@ mod tests {
                 cold: vec![cold],
                 total_accesses: ds.len() as u64 + cold,
                 distinct_blocks: cold,
+                sampling: None,
             };
             let caps: Vec<u64> = vec![1, 4, 16, 64, 256, 1024, 1 << 20];
             let curve = miss_curve(&profile, &caps);

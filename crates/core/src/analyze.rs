@@ -12,6 +12,13 @@
 //!   cheaper than re-interpreting the program, and the per-grain analyzers
 //!   share nothing, so the replays are embarrassingly parallel.
 //!
+//! The replay pipeline can additionally run each grain through the
+//! constant-space [`SampledAnalyzer`] instead of the exact analyzer: set
+//! [`AnalyzeOptions::sampling`] and use [`analyze_buffer_with`],
+//! [`analyze_program_parallel_with`], or [`analyze_program_degraded`].
+//! Exact mode stays the default and its output is bit-identical to a
+//! build without the knob.
+//!
 //! ## Fault tolerance
 //!
 //! The replay pipeline is built to run unattended over full application
@@ -36,7 +43,8 @@
 use crate::analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
 use crate::budget::{AnalysisBudget, BudgetExceeded, BudgetProgress};
 use crate::patterns::ReuseProfile;
-use reuselens_ir::{ArrayId, Program};
+use crate::sampling::{SampledAnalyzer, SamplingConfig};
+use reuselens_ir::{AccessKind, ArrayId, Program, RefId, ScopeId};
 use reuselens_obs as obs;
 use reuselens_trace::{
     AccessRecord, BufferStats, DecodeError, Event, ExecError, ExecReport, Executor, TraceBuffer,
@@ -266,6 +274,12 @@ pub struct AnalyzeOptions {
     /// dead. Deterministic failures (decode, budget) are never retried.
     /// On by default.
     pub retry: bool,
+    /// How to sample the block stream. [`SamplingConfig::Exact`] (the
+    /// default) runs the exact analyzer and produces output bit-identical
+    /// to a pipeline without this knob; any other setting replays through
+    /// the constant-space [`SampledAnalyzer`] and marks each profile with
+    /// its [`SamplingInfo`](crate::SamplingInfo).
+    pub sampling: SamplingConfig,
 }
 
 impl Default for AnalyzeOptions {
@@ -274,6 +288,7 @@ impl Default for AnalyzeOptions {
             budget: AnalysisBudget::unlimited(),
             validate: false,
             retry: true,
+            sampling: SamplingConfig::Exact,
         }
     }
 }
@@ -372,20 +387,90 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// One grain's measurement engine: the exact analyzer or its
+/// constant-space sampled counterpart, behind one [`TraceSink`] surface so
+/// the fast and guarded replay paths serve both modes.
+enum GrainAnalyzer {
+    Exact(ReuseAnalyzer),
+    Sampled(SampledAnalyzer),
+}
+
+impl GrainAnalyzer {
+    fn new(program: &Program, block_size: u64, sampling: SamplingConfig) -> GrainAnalyzer {
+        if sampling.is_exact() {
+            GrainAnalyzer::Exact(ReuseAnalyzer::new(program, block_size))
+        } else {
+            GrainAnalyzer::Sampled(SampledAnalyzer::new(program, block_size, sampling))
+        }
+    }
+
+    /// Live tracked-block count — the quantity a memory budget bounds.
+    /// For the sampled engine this is the *tracked* set, not the scaled
+    /// footprint estimate: sampling exists to keep this number small.
+    fn tracked_blocks(&self) -> u64 {
+        match self {
+            GrainAnalyzer::Exact(a) => a.distinct_blocks(),
+            GrainAnalyzer::Sampled(a) => a.tracked_blocks(),
+        }
+    }
+
+    fn tree_nodes(&self) -> usize {
+        match self {
+            GrainAnalyzer::Exact(a) => a.tree_nodes(),
+            GrainAnalyzer::Sampled(a) => a.tree_nodes(),
+        }
+    }
+
+    fn finish(self) -> ReuseProfile {
+        match self {
+            GrainAnalyzer::Exact(a) => a.finish(),
+            GrainAnalyzer::Sampled(a) => a.finish(),
+        }
+    }
+}
+
+impl TraceSink for GrainAnalyzer {
+    fn access(&mut self, r: RefId, addr: u64, size: u32, kind: AccessKind) {
+        match self {
+            GrainAnalyzer::Exact(a) => a.access(r, addr, size, kind),
+            GrainAnalyzer::Sampled(a) => a.access(r, addr, size, kind),
+        }
+    }
+    fn enter(&mut self, scope: ScopeId) {
+        match self {
+            GrainAnalyzer::Exact(a) => a.enter(scope),
+            GrainAnalyzer::Sampled(a) => a.enter(scope),
+        }
+    }
+    fn exit(&mut self, scope: ScopeId) {
+        match self {
+            GrainAnalyzer::Exact(a) => a.exit(scope),
+            GrainAnalyzer::Sampled(a) => a.exit(scope),
+        }
+    }
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        // One match per batch, not per event.
+        match self {
+            GrainAnalyzer::Exact(a) => a.access_batch(batch),
+            GrainAnalyzer::Sampled(a) => a.access_batch(batch),
+        }
+    }
+}
+
 /// Replays `buffer` through `analyzer` on the validating decoder,
 /// checking the budget once per batch.
 fn replay_guarded(
     buffer: &TraceBuffer,
-    analyzer: &mut ReuseAnalyzer,
+    analyzer: &mut GrainAnalyzer,
     budget: &AnalysisBudget,
 ) -> Result<(), GrainError> {
     let mut batch: Vec<AccessRecord> = Vec::with_capacity(GUARDED_BATCH);
     let mut events = 0u64;
     let mut accesses = 0u64;
-    let check = |analyzer: &ReuseAnalyzer, events: u64| {
+    let check = |analyzer: &GrainAnalyzer, events: u64| {
         let progress = BudgetProgress {
             events,
-            distinct_blocks: analyzer.distinct_blocks(),
+            distinct_blocks: analyzer.tracked_blocks(),
             tree_nodes: analyzer.tree_nodes() as u64,
         };
         obs::set_gauge(obs::Gauge::BudgetEvents, progress.events);
@@ -444,14 +529,15 @@ fn replay_grain(
     let start = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(
         || -> Result<(ReuseProfile, u64), GrainError> {
-            let mut analyzer = ReuseAnalyzer::new(program, block_size);
+            let mut analyzer = GrainAnalyzer::new(program, block_size, opts.sampling);
             if opts.validate || !opts.budget.is_unlimited() {
                 replay_guarded(buffer, &mut analyzer, &opts.budget)?;
             } else {
                 buffer.replay(&mut analyzer);
             }
-            // The order-statistic tree only grows during a replay, so its
-            // final size is also its peak; measured before `finish`
+            // The exact tree only grows during a replay, so its final size
+            // is also its peak; a sampled tree shrinks on eviction, making
+            // this the final *tracked* count. Measured before `finish`
             // consumes the analyzer.
             let tree_nodes = analyzer.tree_nodes() as u64;
             Ok((analyzer.finish(), tree_nodes))
@@ -459,17 +545,29 @@ fn replay_grain(
     ));
     match outcome {
         Ok(Ok((profile, tree_nodes))) => {
-            obs::add(obs::Counter::BlocksTracked, profile.distinct_blocks);
-            // Every measured (non-cold) reuse re-keys its block's node on
-            // the order-statistic tree with one fused reinsert.
-            obs::add(
-                obs::Counter::TreeReinserts,
-                profile.total_accesses - profile.total_cold(),
-            );
+            match profile.sampling {
+                None => {
+                    obs::add(obs::Counter::BlocksTracked, profile.distinct_blocks);
+                    // Every measured (non-cold) reuse re-keys its block's
+                    // node on the order-statistic tree with one fused
+                    // reinsert.
+                    obs::add(
+                        obs::Counter::TreeReinserts,
+                        profile.total_accesses - profile.total_cold(),
+                    );
+                }
+                Some(info) => {
+                    obs::add(obs::Counter::BlocksSampled, info.blocks_sampled);
+                    obs::add(obs::Counter::BlocksEvicted, info.blocks_evicted);
+                    obs::add(obs::Counter::SampleRateDrops, info.rate_drops);
+                    obs::set_gauge(obs::Gauge::SamplingInvRate, info.inv);
+                }
+            }
             span.record(|args| {
                 args.events = Some(buffer.events());
                 args.distinct_blocks = Some(profile.distinct_blocks);
                 args.tree_nodes = Some(tree_nodes);
+                args.sample_inv = profile.sampling.map(|s| s.inv);
             });
             Ok((
                 profile,
@@ -547,6 +645,9 @@ pub fn analyze_buffer_with(
                     } else {
                         obs::GrainStatus::Completed
                     },
+                    blocks_sampled: profile.sampling.map_or(0, |s| s.blocks_sampled),
+                    blocks_evicted: profile.sampling.map_or(0, |s| s.blocks_evicted),
+                    sample_inv: profile.sampling.map_or(0, |s| s.inv),
                 });
                 profiles.push(profile);
                 replays.push(timing);
@@ -560,6 +661,9 @@ pub fn analyze_buffer_with(
                     distinct_blocks: 0,
                     tree_nodes: 0,
                     status: obs::GrainStatus::Failed,
+                    blocks_sampled: 0,
+                    blocks_evicted: 0,
+                    sample_inv: 0,
                 });
                 failures.push(FailureReport {
                     block_size,
@@ -634,10 +738,28 @@ pub fn analyze_program_parallel(
     block_sizes: &[u64],
     index_arrays: Vec<(ArrayId, Vec<i64>)>,
 ) -> Result<(AnalysisResult, AnalysisStats), AnalysisError> {
+    analyze_program_parallel_with(program, block_sizes, index_arrays, &AnalyzeOptions::default())
+}
+
+/// [`analyze_program_parallel`] with explicit [`AnalyzeOptions`] — the way
+/// to run the strict capture + replay pipeline under sampling, a budget,
+/// or the validating decoder. With default options it is the same call.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from the capture run, and any grain
+/// failure from the replay phase as an [`AnalysisError`].
+pub fn analyze_program_parallel_with(
+    program: &Program,
+    block_sizes: &[u64],
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+    opts: &AnalyzeOptions,
+) -> Result<(AnalysisResult, AnalysisStats), AnalysisError> {
     let start = Instant::now();
     let (buffer, report) = capture_program(program, index_arrays)?;
     let capture_wall = start.elapsed();
-    let (profiles, replays) = analyze_buffer(program, &buffer, block_sizes)?;
+    let (profiles, replays) =
+        analyze_buffer_with(program, &buffer, block_sizes, opts).into_strict()?;
     Ok((
         AnalysisResult {
             profiles,

@@ -28,21 +28,29 @@ const SMALL_MAP_LIMIT: usize = 8;
 /// scan to O(patterns) per access, so past [`SMALL_MAP_LIMIT`] entries a
 /// hash index over the same vector takes over.
 #[derive(Debug, Default)]
-struct SinkPatterns {
-    entries: Vec<(ScopeId, ScopeId, Histogram)>,
-    index: Option<HashMap<(ScopeId, ScopeId), usize>>,
+pub(crate) struct SinkPatterns {
+    pub(crate) entries: Vec<(ScopeId, ScopeId, Histogram)>,
+    pub(crate) index: Option<HashMap<(ScopeId, ScopeId), usize>>,
 }
 
 impl SinkPatterns {
     #[inline]
-    fn record(&mut self, source: ScopeId, carrier: ScopeId, distance: u64) {
+    pub(crate) fn record(&mut self, source: ScopeId, carrier: ScopeId, distance: u64) {
+        self.record_n(source, carrier, distance, 1);
+    }
+
+    /// Records `count` reuses at once — the sampled analyzer's scaled
+    /// recording path (`count` = inverse sampling rate). `record` is the
+    /// `count == 1` case and compiles to the same code it always did.
+    #[inline]
+    pub(crate) fn record_n(&mut self, source: ScopeId, carrier: ScopeId, distance: u64, count: u64) {
         if let Some(index) = &mut self.index {
             match index.entry((source, carrier)) {
-                Entry::Occupied(e) => self.entries[*e.get()].2.add(distance),
+                Entry::Occupied(e) => self.entries[*e.get()].2.add_n(distance, count),
                 Entry::Vacant(e) => {
                     e.insert(self.entries.len());
                     let mut h = Histogram::new();
-                    h.add(distance);
+                    h.add_n(distance, count);
                     self.entries.push((source, carrier, h));
                 }
             }
@@ -50,12 +58,12 @@ impl SinkPatterns {
         }
         for (s, c, h) in &mut self.entries {
             if *s == source && *c == carrier {
-                h.add(distance);
+                h.add_n(distance, count);
                 return;
             }
         }
         let mut h = Histogram::new();
-        h.add(distance);
+        h.add_n(distance, count);
         self.entries.push((source, carrier, h));
         if self.entries.len() > SMALL_MAP_LIMIT {
             self.index = Some(
@@ -195,6 +203,7 @@ impl ReuseAnalyzer {
             cold: self.cold,
             total_accesses: self.clock,
             distinct_blocks: self.table.distinct_blocks(),
+            sampling: None,
         }
     }
 }

@@ -40,13 +40,15 @@ mod histogram;
 pub mod oracle;
 mod ostree;
 mod patterns;
+mod sampling;
 mod scopestack;
 mod serialize;
 mod spatial;
 
 pub use analyze::{
     analyze_buffer, analyze_buffer_with, analyze_program, analyze_program_degraded,
-    analyze_program_parallel, capture_program, AnalysisError, AnalysisResult, AnalysisStats,
+    analyze_program_parallel, analyze_program_parallel_with, capture_program, AnalysisError,
+    AnalysisResult, AnalysisStats,
     AnalyzeOptions, FailureReport, GrainError, PartialAnalysis, ReplayTiming,
 };
 pub use analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
@@ -56,6 +58,7 @@ pub use context::{ContextAnalyzer, ContextId, ContextProfile, CtxPattern, CtxPat
 pub use histogram::Histogram;
 pub use ostree::OrderStatTree;
 pub use patterns::{PatternKey, ReusePattern, ReuseProfile};
+pub use sampling::{SampledAnalyzer, SamplingConfig, SamplingInfo};
 pub use scopestack::ScopeStack;
 pub use serialize::{read_profiles, write_profiles, ReadError, SavedProfiles};
 pub use spatial::{measure_spatial, ArraySpatial, SpatialProfile, SpatialSink};

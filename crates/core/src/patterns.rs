@@ -3,6 +3,7 @@
 //! profiles that collect them.
 
 use crate::histogram::Histogram;
+use crate::sampling::SamplingInfo;
 use reuselens_ir::{RefId, ScopeId};
 
 /// Identifies one reuse pattern: reuses that end at `sink`, whose previous
@@ -48,8 +49,13 @@ pub struct ReuseProfile {
     pub cold: Vec<u64>,
     /// Total memory accesses observed.
     pub total_accesses: u64,
-    /// Distinct blocks touched (the measured footprint in blocks).
+    /// Distinct blocks touched (the measured footprint in blocks). Under
+    /// sampling this is the scaled *estimate* of the footprint.
     pub distinct_blocks: u64,
+    /// `Some` when this profile was measured by the sampled analyzer —
+    /// histogram counts, cold counts, and `distinct_blocks` are then scaled
+    /// estimates, not exact measurements. `None` for exact profiles.
+    pub sampling: Option<SamplingInfo>,
 }
 
 impl ReuseProfile {
@@ -89,8 +95,15 @@ impl ReuseProfile {
     }
 
     /// Sanity invariant: every access is either a cold touch or one reuse.
+    /// Holds exactly for exact profiles; under sampling the left side is a
+    /// scaled estimate of the right, so this is only approximate there.
     pub fn accesses_balance(&self) -> bool {
         self.total_cold() + self.total_reuses() == self.total_accesses
+    }
+
+    /// True when this profile came from the sampled analyzer.
+    pub fn is_sampled(&self) -> bool {
+        self.sampling.is_some()
     }
 }
 
@@ -120,6 +133,7 @@ mod tests {
             cold: vec![2, 1],
             total_accesses: 8,
             distinct_blocks: 3,
+            sampling: None,
         }
     }
 

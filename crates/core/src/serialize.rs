@@ -11,14 +11,20 @@
 //! name <program name>
 //! size <problem size the run used>
 //! profile <block_size> <total_accesses> <distinct_blocks>
+//! sampling <inv> <blocks_sampled> <blocks_evicted> <rate_drops>
 //! cold <c0> <c1> ...
 //! pattern <sink> <source_scope> <carrier> <lo:count> <lo:count> ...
 //! ...
 //! end
 //! ```
+//!
+//! The `sampling` line appears only for profiles measured by the sampled
+//! analyzer; exact profiles serialize exactly as they did before sampling
+//! existed, so old files still read back bit-identically.
 
 use crate::histogram::Histogram;
 use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
+use crate::sampling::SamplingInfo;
 use reuselens_ir::{RefId, ScopeId};
 use std::error::Error;
 use std::fmt;
@@ -85,6 +91,13 @@ pub fn write_profiles<W: Write>(saved: &SavedProfiles, mut w: W) -> io::Result<(
             "profile {} {} {}",
             p.block_size, p.total_accesses, p.distinct_blocks
         )?;
+        if let Some(s) = &p.sampling {
+            writeln!(
+                w,
+                "sampling {} {} {} {}",
+                s.inv, s.blocks_sampled, s.blocks_evicted, s.rate_drops
+            )?;
+        }
         write!(w, "cold")?;
         for c in &p.cold {
             write!(w, " {c}")?;
@@ -164,6 +177,18 @@ pub fn read_profiles<R: BufRead>(r: R) -> Result<SavedProfiles, ReadError> {
                 cold: Vec::new(),
                 total_accesses,
                 distinct_blocks,
+                sampling: None,
+            });
+        } else if let Some(rest) = line.strip_prefix("sampling ") {
+            let p = current
+                .as_mut()
+                .ok_or_else(|| ReadError::Parse("'sampling' before 'profile'".into()))?;
+            let mut it = rest.split_ascii_whitespace();
+            p.sampling = Some(SamplingInfo {
+                inv: parse_field(&mut it, "inv")?,
+                blocks_sampled: parse_field(&mut it, "blocks_sampled")?,
+                blocks_evicted: parse_field(&mut it, "blocks_evicted")?,
+                rate_drops: parse_field(&mut it, "rate_drops")?,
             });
         } else if let Some(rest) = line.strip_prefix("cold") {
             let p = current
@@ -263,6 +288,26 @@ mod tests {
         assert!(loaded.profile_at(64).is_some());
         assert!(loaded.profile_at(4096).is_some());
         assert!(loaded.profile_at(128).is_none());
+    }
+
+    /// A sampled profile round-trips with its `sampling` line, and the
+    /// line never appears for exact profiles (old readers stay happy).
+    #[test]
+    fn sampled_profiles_round_trip() {
+        let mut saved = sample();
+        saved.profiles[0].sampling = Some(SamplingInfo {
+            inv: 128,
+            blocks_sampled: 7,
+            blocks_evicted: 3,
+            rate_drops: 2,
+        });
+        let mut buf = Vec::new();
+        write_profiles(&saved, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.matches("sampling ").count(), 1);
+        let loaded = read_profiles(buf.as_slice()).unwrap();
+        assert_eq!(saved, loaded);
+        assert!(loaded.profiles[1].sampling.is_none());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use reuselens_core::{
     analyze_buffer, analyze_buffer_with, analyze_program, analyze_program_degraded,
     capture_program, AnalysisBudget, AnalysisError, AnalyzeOptions, BudgetLimit, GrainError,
+    SamplingConfig,
 };
 use reuselens_ir::{Program, ProgramBuilder};
 use reuselens_trace::fault::Corruptor;
@@ -179,6 +180,53 @@ fn corrupted_buffer_with_validation_reports_decode_errors() {
         );
         assert!(!failure.retried);
     }
+}
+
+/// Sampling composes with the fault path: a corrupted buffer under a
+/// sampled replay degrades through the same structured decode reports, a
+/// panicking sampled grain is isolated from its sampled siblings, and
+/// the same options over the intact buffer complete with every profile
+/// annotated — no panics escape in any case.
+#[test]
+fn corrupted_buffer_under_sampling_degrades_cleanly() {
+    let prog = workload(1024);
+    let (buffer, _) = capture_program(&prog, vec![]).unwrap();
+    let opts = AnalyzeOptions {
+        validate: true,
+        sampling: SamplingConfig::fixed(0.1),
+        ..AnalyzeOptions::default()
+    };
+
+    let mut corruptor = Corruptor::new(0xbad_cafe);
+    let corrupted = corruptor.truncate(&buffer);
+    let partial = analyze_buffer_with(&prog, &corrupted, &[64, 4096], &opts);
+    assert!(partial.profiles.is_empty());
+    assert_eq!(partial.failures.len(), 2);
+    for failure in &partial.failures {
+        assert!(
+            matches!(failure.error, GrainError::Decode(_)),
+            "expected decode failure, got {}",
+            failure.error
+        );
+        assert!(!failure.retried);
+    }
+
+    // The sampled analyzer rejects a non-power-of-two grain exactly like
+    // the exact one; the panic stays inside that grain.
+    let mixed = analyze_buffer_with(&prog, &buffer, &[64, PANICKING_GRAIN], &opts);
+    assert_eq!(mixed.profiles.len(), 1);
+    assert!(matches!(
+        mixed.failure_at(PANICKING_GRAIN).unwrap().error,
+        GrainError::Panicked(_)
+    ));
+
+    // And the same options over the intact buffer complete, annotated.
+    let healthy = analyze_buffer_with(&prog, &buffer, &[64, 4096], &opts);
+    assert!(healthy.is_complete());
+    assert!(
+        healthy.profiles.iter().all(|p| p.sampling.is_some()),
+        "every surviving grain carries its sampling books"
+    );
 }
 
 /// Without validation a grain panic caused by a hostile consumer is still

@@ -2,7 +2,9 @@
 
 use crate::attribution::LevelMetrics;
 use reuselens_cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
-use reuselens_core::{analyze_buffer, capture_program, AnalysisResult};
+use reuselens_core::{
+    analyze_buffer_with, capture_program, AnalysisResult, AnalyzeOptions, SamplingConfig,
+};
 use reuselens_ir::{ArrayId, Program};
 use reuselens_obs as obs;
 use reuselens_static::StaticAnalysis;
@@ -82,6 +84,24 @@ pub fn run_locality_analysis(
     hierarchy: &MemoryHierarchy,
     index_arrays: Vec<(ArrayId, Vec<i64>)>,
 ) -> Result<LocalityAnalysis, ExecError> {
+    run_locality_analysis_sampled(program, hierarchy, index_arrays, SamplingConfig::Exact)
+}
+
+/// [`run_locality_analysis`] with an explicit [`SamplingConfig`]: every
+/// granularity replays through the constant-space sampled analyzer, and
+/// the miss predictions and attribution metrics are computed from the
+/// scaled histograms. [`SamplingConfig::Exact`] reproduces
+/// [`run_locality_analysis`] bit for bit.
+///
+/// # Errors
+///
+/// Propagates executor errors, like [`run_locality_analysis`].
+pub fn run_locality_analysis_sampled(
+    program: &Program,
+    hierarchy: &MemoryHierarchy,
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+    sampling: SamplingConfig,
+) -> Result<LocalityAnalysis, ExecError> {
     // Capture once, then replay per granularity: this is the pipeline the
     // CLI reports on, so each stage runs under its own span (capture and
     // replay spans are recorded inside `capture_program`/`analyze_buffer`).
@@ -92,8 +112,13 @@ pub fn run_locality_analysis(
         .validate()
         .unwrap_or_else(|e| panic!("in-process capture failed validation: {e}"));
     let grains = hierarchy.required_granularities();
-    let (profiles, _timings) =
-        analyze_buffer(program, &buffer, &grains).unwrap_or_else(|e| panic!("{e}"));
+    let opts = AnalyzeOptions {
+        sampling,
+        ..AnalyzeOptions::default()
+    };
+    let (profiles, _timings) = analyze_buffer_with(program, &buffer, &grains, &opts)
+        .into_strict()
+        .unwrap_or_else(|e| panic!("{e}"));
     let analysis = AnalysisResult { profiles, exec };
     let report = report_from_analysis(&analysis, hierarchy);
     let _span = obs::span_with(obs::Stage::Report, || obs::TimelineArgs {
@@ -155,5 +180,31 @@ mod tests {
         let l2 = la.level("L2").unwrap().total_misses;
         let l3 = la.level("L3").unwrap().total_misses;
         assert!(l2 >= l3);
+    }
+
+    #[test]
+    fn sampled_pipeline_marks_profiles_and_exact_matches_default() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[8192]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 2, |r, _| {
+                r.for_("i", 0, 8191, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let h = MemoryHierarchy::itanium2_scaled(16);
+        let exact = run_locality_analysis(&prog, &h, vec![]).unwrap();
+        let via_sampled_entry =
+            run_locality_analysis_sampled(&prog, &h, vec![], SamplingConfig::Exact).unwrap();
+        assert_eq!(exact.analysis.profiles, via_sampled_entry.analysis.profiles);
+
+        let sampled =
+            run_locality_analysis_sampled(&prog, &h, vec![], SamplingConfig::fixed(0.5)).unwrap();
+        assert!(sampled.analysis.profiles.iter().all(|p| p.is_sampled()));
+        let summary = crate::text::format_summary(&sampled);
+        assert!(summary.contains("sampled: grain"));
+        assert!(!crate::text::format_summary(&exact).contains("sampled"));
     }
 }

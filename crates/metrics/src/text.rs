@@ -186,11 +186,24 @@ pub fn format_spatial(program: &Program, profile: &reuselens_core::SpatialProfil
 }
 
 /// Renders the per-level totals summary for a whole analysis.
+///
+/// Profiles measured by the sampled analyzer are flagged up front — every
+/// downstream count is then a scaled estimate, not an exact total. Exact
+/// runs render byte-identically to before the annotation existed.
 pub fn format_summary(la: &LocalityAnalysis) -> String {
-    let mut out = format!(
+    let mut out = String::new();
+    for p in &la.analysis.profiles {
+        if let Some(info) = p.sampling {
+            out.push_str(&format!(
+                "sampled: grain {} at rate 1/{} (counts are scaled estimates)\n",
+                p.block_size, info.inv
+            ));
+        }
+    }
+    out.push_str(&format!(
         "{:<8} {:>14} {:>12} {:>10}\n",
         "level", "misses", "cold", "miss rate"
-    );
+    ));
     for m in la.all_levels() {
         let rate = if la.report.accesses > 0 {
             m.total_misses / la.report.accesses as f64

@@ -171,6 +171,7 @@ impl ProfileModel {
             cold,
             total_accesses: total_cold + total_reuses,
             distinct_blocks: total_cold,
+            sampling: None,
         }
     }
 }

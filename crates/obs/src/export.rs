@@ -187,8 +187,8 @@ pub fn format_summary(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "grain profiles");
         let _ = writeln!(
             out,
-            "  {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
-            "grain", "status", "wall", "events", "events/s", "blocks", "tree"
+            "  {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
+            "grain", "status", "wall", "events", "events/s", "blocks", "tree", "sample"
         );
         for grain in &snapshot.grains {
             let rate = if grain.wall.is_zero() {
@@ -196,9 +196,14 @@ pub fn format_summary(snapshot: &MetricsSnapshot) -> String {
             } else {
                 fmt_rate(grain.events_per_second())
             };
+            let sample = if grain.sample_inv == 0 {
+                "-".to_string()
+            } else {
+                format!("1/{}", grain.sample_inv)
+            };
             let _ = writeln!(
                 out,
-                "  {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+                "  {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
                 grain.block_size,
                 grain.status.name(),
                 fmt_duration(grain.wall),
@@ -206,6 +211,7 @@ pub fn format_summary(snapshot: &MetricsSnapshot) -> String {
                 rate,
                 grain.distinct_blocks,
                 grain.tree_nodes,
+                sample,
             );
         }
     }
@@ -289,6 +295,9 @@ mod tests {
             distinct_blocks: 1000,
             tree_nodes: 1000,
             status: GrainStatus::Completed,
+            blocks_sampled: 0,
+            blocks_evicted: 0,
+            sample_inv: 0,
         });
         rec.record_grain(&GrainProfile {
             block_size: 128,
@@ -297,6 +306,20 @@ mod tests {
             distinct_blocks: 0,
             tree_nodes: 0,
             status: GrainStatus::Failed,
+            blocks_sampled: 0,
+            blocks_evicted: 0,
+            sample_inv: 0,
+        });
+        rec.record_grain(&GrainProfile {
+            block_size: 4096,
+            wall: Duration::from_secs(1),
+            events: 1_000_000,
+            distinct_blocks: 50_000,
+            tree_nodes: 512,
+            status: GrainStatus::Completed,
+            blocks_sampled: 500,
+            blocks_evicted: 12,
+            sample_inv: 100,
         });
         let snap = rec.snapshot();
         let summary = format_summary(&snap);
@@ -304,6 +327,7 @@ mod tests {
         assert!(summary.contains("completed"));
         assert!(summary.contains("2.00 M/s"));
         assert!(summary.contains("failed"));
+        assert!(summary.contains("1/100"), "sampled grains show their rate");
         let prom = format_prometheus(&snap);
         assert!(prom.contains(
             "reuselens_grain_replays_total{grain=\"64\",status=\"completed\"} 1"

@@ -166,11 +166,17 @@ pub enum Counter {
     ReportsGenerated,
     /// Timeline events dropped by full ring-buffer shards.
     TimelineDropped,
+    /// Distinct blocks admitted by the spatial-hash sampler (unscaled).
+    BlocksSampled,
+    /// Tracked blocks evicted by adaptive sampling rate drops.
+    BlocksEvicted,
+    /// Adaptive sampling rate halvings (tracked set hit its budget).
+    SampleRateDrops,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::EventsCaptured,
         Counter::AccessesCaptured,
         Counter::BytesEncoded,
@@ -186,6 +192,9 @@ impl Counter {
         Counter::SweepConfigsFailed,
         Counter::ReportsGenerated,
         Counter::TimelineDropped,
+        Counter::BlocksSampled,
+        Counter::BlocksEvicted,
+        Counter::SampleRateDrops,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -207,6 +216,9 @@ impl Counter {
             Counter::SweepConfigsFailed => "sweep_configs_failed",
             Counter::ReportsGenerated => "reports_generated",
             Counter::TimelineDropped => "timeline_dropped",
+            Counter::BlocksSampled => "blocks_sampled",
+            Counter::BlocksEvicted => "blocks_evicted",
+            Counter::SampleRateDrops => "sample_rate_drops",
         }
     }
 
@@ -232,6 +244,11 @@ impl Counter {
             Counter::SweepConfigsFailed => "Candidate hierarchies that failed scoring.",
             Counter::ReportsGenerated => "Attribution reports generated.",
             Counter::TimelineDropped => "Timeline events dropped by full ring-buffer shards.",
+            Counter::BlocksSampled => {
+                "Distinct blocks admitted by the spatial-hash sampler (unscaled)."
+            }
+            Counter::BlocksEvicted => "Tracked blocks evicted by adaptive sampling rate drops.",
+            Counter::SampleRateDrops => "Adaptive sampling rate halvings.",
         }
     }
 
@@ -252,14 +269,17 @@ pub enum Gauge {
     BudgetDistinctBlocks,
     /// Order-statistic-tree nodes live at the latest budget checkpoint.
     BudgetTreeNodes,
+    /// Inverse sampling rate of the most recently finished sampled grain.
+    SamplingInvRate,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::BudgetEvents,
         Gauge::BudgetDistinctBlocks,
         Gauge::BudgetTreeNodes,
+        Gauge::SamplingInvRate,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -269,6 +289,7 @@ impl Gauge {
             Gauge::BudgetEvents => "budget_events",
             Gauge::BudgetDistinctBlocks => "budget_distinct_blocks",
             Gauge::BudgetTreeNodes => "budget_tree_nodes",
+            Gauge::SamplingInvRate => "sampling_inv_rate",
         }
     }
 
@@ -280,6 +301,9 @@ impl Gauge {
                 "Distinct blocks tracked at the latest budget checkpoint."
             }
             Gauge::BudgetTreeNodes => "Live tree nodes at the latest budget checkpoint.",
+            Gauge::SamplingInvRate => {
+                "Inverse sampling rate of the most recently finished sampled grain."
+            }
         }
     }
 

@@ -42,11 +42,22 @@ pub struct GrainProfile {
     pub events: u64,
     /// Distinct blocks the grain's analyzer ended with.
     pub distinct_blocks: u64,
-    /// Peak live order-statistic-tree nodes (equals distinct blocks — the
-    /// tree only grows — but measured independently off the tree).
+    /// Peak live order-statistic-tree nodes (for exact grains this equals
+    /// distinct blocks — the tree only grows — but it is measured
+    /// independently off the tree; sampled grains' trees shrink on
+    /// eviction, so there it is the final tracked-block count).
     pub tree_nodes: u64,
     /// How the replay ended.
     pub status: GrainStatus,
+    /// Distinct blocks the spatial-hash sampler admitted (unscaled);
+    /// zero for exact grains.
+    pub blocks_sampled: u64,
+    /// Tracked blocks evicted by adaptive rate drops; zero for exact and
+    /// fixed-rate grains.
+    pub blocks_evicted: u64,
+    /// Inverse sampling rate the grain finished at; zero for exact grains
+    /// (a sampled grain reports at least 1).
+    pub sample_inv: u64,
 }
 
 impl GrainProfile {

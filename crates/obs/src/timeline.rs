@@ -101,6 +101,8 @@ pub struct TimelineArgs {
     pub distinct_blocks: Option<u64>,
     /// Peak order-statistic-tree nodes the span's analyzer held.
     pub tree_nodes: Option<u64>,
+    /// Inverse sampling rate a sampled replay span finished at.
+    pub sample_inv: Option<u64>,
     /// Name of the hierarchy a sweep or report span scored.
     pub hierarchy: Option<String>,
 }
@@ -112,6 +114,7 @@ impl TimelineArgs {
             && self.events.is_none()
             && self.distinct_blocks.is_none()
             && self.tree_nodes.is_none()
+            && self.sample_inv.is_none()
             && self.hierarchy.is_none()
     }
 }
@@ -346,6 +349,9 @@ pub fn format_chrome_trace(snapshot: &TimelineSnapshot) -> String {
         }
         if let Some(nodes) = event.args.tree_nodes {
             let _ = write!(out, ",\"tree_nodes\":{nodes}");
+        }
+        if let Some(inv) = event.args.sample_inv {
+            let _ = write!(out, ",\"sample_inv\":{inv}");
         }
         if let Some(hierarchy) = &event.args.hierarchy {
             let _ = write!(out, ",\"hierarchy\":\"{}\"", escape_json(hierarchy));

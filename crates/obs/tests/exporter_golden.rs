@@ -34,7 +34,12 @@ fn populated() -> MetricsRecorder {
         distinct_blocks: 4096,
         tree_nodes: 4096,
         status: GrainStatus::Completed,
+        blocks_sampled: 0,
+        blocks_evicted: 0,
+        sample_inv: 0,
     });
+    // A sampled grain: scaled footprint, tracked-set tree size, and a
+    // nonzero inverse rate that must render as `1/10` in the summary.
     r.record_grain(&GrainProfile {
         block_size: 64,
         wall: Duration::from_millis(44),
@@ -42,6 +47,9 @@ fn populated() -> MetricsRecorder {
         distinct_blocks: 4096,
         tree_nodes: 4100,
         status: GrainStatus::Retried,
+        blocks_sampled: 410,
+        blocks_evicted: 22,
+        sample_inv: 10,
     });
     r.record_grain(&GrainProfile {
         block_size: 4096,
@@ -50,6 +58,9 @@ fn populated() -> MetricsRecorder {
         distinct_blocks: 0,
         tree_nodes: 0,
         status: GrainStatus::Failed,
+        blocks_sampled: 0,
+        blocks_evicted: 0,
+        sample_inv: 0,
     });
     r
 }
@@ -99,6 +110,15 @@ reuselens_reports_generated_total 140
 # HELP reuselens_timeline_dropped_total Timeline events dropped by full ring-buffer shards.
 # TYPE reuselens_timeline_dropped_total counter
 reuselens_timeline_dropped_total 150
+# HELP reuselens_blocks_sampled_total Distinct blocks admitted by the spatial-hash sampler (unscaled).
+# TYPE reuselens_blocks_sampled_total counter
+reuselens_blocks_sampled_total 160
+# HELP reuselens_blocks_evicted_total Tracked blocks evicted by adaptive sampling rate drops.
+# TYPE reuselens_blocks_evicted_total counter
+reuselens_blocks_evicted_total 170
+# HELP reuselens_sample_rate_drops_total Adaptive sampling rate halvings.
+# TYPE reuselens_sample_rate_drops_total counter
+reuselens_sample_rate_drops_total 180
 # HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
 # TYPE reuselens_budget_events gauge
 reuselens_budget_events 7
@@ -108,6 +128,9 @@ reuselens_budget_distinct_blocks 14
 # HELP reuselens_budget_tree_nodes Live tree nodes at the latest budget checkpoint.
 # TYPE reuselens_budget_tree_nodes gauge
 reuselens_budget_tree_nodes 21
+# HELP reuselens_sampling_inv_rate Inverse sampling rate of the most recently finished sampled grain.
+# TYPE reuselens_sampling_inv_rate gauge
+reuselens_sampling_inv_rate 28
 # HELP reuselens_stage_spans_total Completed spans per pipeline stage.
 # TYPE reuselens_stage_spans_total counter
 reuselens_stage_spans_total{stage="capture"} 1
@@ -149,10 +172,10 @@ stage                     spans        total         mean
   replay                      2         0 ns         0 ns
   sweep                       1         0 ns         0 ns
 grain profiles
-     grain     status         wall       events     events/s     blocks       tree
-        64  completed         0 ns       500000            -       4096       4096
-        64    retried         0 ns       500000            -       4096       4100
-      4096     failed         0 ns            0            -          0          0
+     grain     status         wall       events     events/s     blocks       tree   sample
+        64  completed         0 ns       500000            -       4096       4096        -
+        64    retried         0 ns       500000            -       4096       4100     1/10
+      4096     failed         0 ns            0            -          0          0        -
 counters
   events_captured                          10
   accesses_captured                        20
@@ -169,10 +192,14 @@ counters
   sweep_configs_failed                    130
   reports_generated                       140
   timeline_dropped                        150
+  blocks_sampled                          160
+  blocks_evicted                          170
+  sample_rate_drops                       180
 gauges
   budget_events                             7
   budget_distinct_blocks                   14
   budget_tree_nodes                        21
+  sampling_inv_rate                        28
 ";
 
 #[test]

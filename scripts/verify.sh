@@ -34,6 +34,14 @@ cargo test -q -p reuselens-obs --test timeline_ring
 cargo test -q -p reuselens-obs --test timeline_golden
 cargo test -q -p reuselens-bench --lib
 
+# Sampled-analysis accuracy contract: the statistical bands on the
+# sampled engine's histograms and on the downstream miss predictions
+# (both suites document and enforce the README's stated bands), plus the
+# rate-1.0 / exact bit-identity proofs they contain. The bench-runner
+# smoke below also exercises the sampled rung end to end.
+cargo test -q -p reuselens-core --test sampling_accuracy
+cargo test -q -p reuselens-cache --test sampled_miss_bounds
+
 cargo clippy --workspace --all-targets --no-deps -- -D warnings
 
 # Informational perf smoke: exercises the bench-runner end to end and

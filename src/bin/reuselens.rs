@@ -28,14 +28,14 @@ use reuselens::advisor::{describe, detect_time_loops, Advisor};
 use reuselens::cache::MemoryHierarchy;
 use reuselens::cache::{miss_curve, predict_level};
 use reuselens::core::{
-    measure_spatial, read_profiles, write_profiles, ContextAnalyzer, SavedProfiles,
+    measure_spatial, read_profiles, write_profiles, ContextAnalyzer, SamplingConfig, SavedProfiles,
 };
 use reuselens::model::ProfileModel;
 use reuselens::ir::Program;
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::metrics::{
     format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
-    format_spatial, format_summary, run_locality_analysis, to_xml, LocalityAnalysis,
+    format_spatial, format_summary, run_locality_analysis_sampled, to_xml, LocalityAnalysis,
 };
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig, GtcTransforms};
 use reuselens::workloads::kernels;
@@ -76,6 +76,11 @@ COMMON OPTIONS:
                     contexts | program | xml
                                                        [default: summary]
     --level <L>     level for patterns/advice/breakdown [default: L2]
+    --sample-rate <R>  approximate analysis: replay through the
+                    constant-space sampled analyzer. R is a rate in
+                    (0, 1] (e.g. 0.01), or 'auto:<budget>' to adapt the
+                    rate so at most <budget> blocks are tracked. Reported
+                    counts become scaled estimates; omit for exact output
     --metrics <PATH> write pipeline metrics (Prometheus text) to PATH
                     ('-' for stdout) and print a per-stage timing
                     footer to stderr
@@ -197,6 +202,7 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let report = flags.value("--report").unwrap_or("summary");
     let level = flags.value("--level").unwrap_or("L2");
+    let sampling = parse_sampling(&flags)?;
 
     let w = build_workload(workload.as_str(), &flags)?;
     eprintln!(
@@ -251,7 +257,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let la = run_locality_analysis(&w.program, &hierarchy, w.index_arrays.clone())
+    let la = run_locality_analysis_sampled(&w.program, &hierarchy, w.index_arrays.clone(), sampling)
         .map_err(|e| e.to_string())?;
 
     if let Some(path) = flags.value("--save-profile") {
@@ -284,6 +290,30 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     print_report(&w.program, &la, report, level)
+}
+
+/// Parses `--sample-rate 0.01` / `--sample-rate auto:4096`; no flag means
+/// exact analysis.
+fn parse_sampling(flags: &Flags<'_>) -> Result<SamplingConfig, String> {
+    let Some(v) = flags.value("--sample-rate") else {
+        return Ok(SamplingConfig::Exact);
+    };
+    if let Some(budget) = v.strip_prefix("auto:") {
+        let budget: u64 = budget
+            .parse()
+            .map_err(|_| format!("invalid --sample-rate budget in '{v}'"))?;
+        if budget == 0 {
+            return Err("--sample-rate auto budget must be positive".into());
+        }
+        return Ok(SamplingConfig::adaptive(budget));
+    }
+    let rate: f64 = v
+        .parse()
+        .map_err(|_| format!("invalid --sample-rate '{v}'"))?;
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(format!("--sample-rate must be in (0, 1], got {v}"));
+    }
+    Ok(SamplingConfig::fixed(rate))
 }
 
 /// The natural problem-size tag per workload (overridable with `--size`).
@@ -324,7 +354,7 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
         if a.starts_with("--") {
             skip = matches!(
                 a.as_str(),
-                "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline"
+                "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline" | "--sample-rate"
             );
             continue;
         }

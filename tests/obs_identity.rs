@@ -13,9 +13,14 @@
 //! mutex (poison-tolerant: one failed test must not wedge the rest).
 
 use reuselens::cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
-use reuselens::core::{analyze_buffer, capture_program, AnalysisResult, ReuseProfile};
+use reuselens::core::{
+    analyze_buffer, analyze_buffer_with, capture_program, AnalysisResult, AnalyzeOptions,
+    ReuseProfile, SamplingConfig,
+};
 use reuselens::metrics::run_locality_analysis;
-use reuselens::obs::{self, Counter, GrainStatus, MetricsRecorder, MetricsSnapshot, Stage, Timeline};
+use reuselens::obs::{
+    self, Counter, Gauge, GrainStatus, MetricsRecorder, MetricsSnapshot, Stage, Timeline,
+};
 use reuselens::trace::BufferStats;
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
 use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
@@ -271,6 +276,113 @@ fn installing_obs_mid_run_changes_nothing() {
             g.len() as u64 * buffer.stats().events
         );
         assert_eq!(snap.counter(Counter::GrainsCompleted), g.len() as u64);
+    }
+}
+
+/// Sampled replays must tell the same reconciled story the exact ones
+/// do, just through the sampling counters: the recorder's totals, the
+/// gauge, and the per-grain rows all match the books the profiles
+/// themselves carry.
+#[test]
+fn sampled_run_reconciles_counters_and_grain_profiles() {
+    let _guard = lock();
+    let hs = hierarchies();
+    let g = grains(&hs);
+    for w in workloads() {
+        obs::uninstall();
+        let (buffer, _exec) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
+
+        let recorder = Arc::new(MetricsRecorder::new());
+        obs::install(recorder.clone());
+        let opts = AnalyzeOptions {
+            sampling: SamplingConfig::fixed(0.1),
+            ..AnalyzeOptions::default()
+        };
+        let (profiles, _timings) = analyze_buffer_with(&w.program, &buffer, &g, &opts)
+            .into_strict()
+            .unwrap();
+        obs::uninstall();
+        let snap = recorder.snapshot();
+
+        // Every profile is annotated, and the recorder's sampling
+        // counters are exactly the sums of the profiles' own books.
+        let infos: Vec<_> = profiles
+            .iter()
+            .map(|p| p.sampling.expect("fixed-rate run annotates every grain"))
+            .collect();
+        assert_eq!(
+            snap.counter(Counter::BlocksSampled),
+            infos.iter().map(|i| i.blocks_sampled).sum::<u64>()
+        );
+        assert_eq!(
+            snap.counter(Counter::BlocksEvicted),
+            infos.iter().map(|i| i.blocks_evicted).sum::<u64>()
+        );
+        assert_eq!(
+            snap.counter(Counter::SampleRateDrops),
+            infos.iter().map(|i| i.rate_drops).sum::<u64>()
+        );
+        // Sampled grains never touch the exact-mode counters.
+        assert_eq!(snap.counter(Counter::BlocksTracked), 0);
+        assert_eq!(snap.counter(Counter::TreeReinserts), 0);
+        // Fixed rate 1/10 never drops, so whichever grain finished last
+        // set the gauge to the same value.
+        assert_eq!(snap.gauge(Gauge::SamplingInvRate), 10);
+        assert_eq!(snap.counter(Counter::GrainsCompleted), g.len() as u64);
+
+        // Each GrainProfile row repeats its profile's sampling books.
+        assert_eq!(snap.grains.len(), g.len());
+        for profile in &profiles {
+            let info = profile.sampling.unwrap();
+            let row = snap
+                .grains
+                .iter()
+                .find(|r| r.block_size == profile.block_size)
+                .expect("every grain has a row");
+            assert_eq!(row.status, GrainStatus::Completed);
+            assert_eq!(row.sample_inv, info.inv);
+            assert_eq!(row.blocks_sampled, info.blocks_sampled);
+            assert_eq!(row.blocks_evicted, info.blocks_evicted);
+            assert_eq!(row.distinct_blocks, profile.distinct_blocks);
+        }
+    }
+}
+
+/// `SamplingConfig::exact()` through the sampled entry point is the
+/// pre-sampling pipeline: identical profiles (with no sampling
+/// annotation) and identical hierarchy reports on both workloads.
+#[test]
+fn exact_sampling_config_is_bit_identical_to_default_path() {
+    let _guard = lock();
+    let hs = hierarchies();
+    let g = grains(&hs);
+    for w in workloads() {
+        obs::uninstall();
+        let baseline = run_pipeline(&w, &hs);
+
+        let (buffer, exec) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
+        let opts = AnalyzeOptions {
+            sampling: SamplingConfig::exact(),
+            ..AnalyzeOptions::default()
+        };
+        let (profiles, _timings) = analyze_buffer_with(&w.program, &buffer, &g, &opts)
+            .into_strict()
+            .unwrap();
+        assert!(
+            profiles.iter().all(|p| p.sampling.is_none()),
+            "exact config must leave profiles unannotated"
+        );
+        let analysis = AnalysisResult { profiles, exec };
+        let reports: Vec<HierarchyReport> = hs
+            .iter()
+            .map(|h| report_from_analysis(&analysis, h))
+            .collect();
+        assert_eq!(
+            baseline.profiles, analysis.profiles,
+            "{}: exact sampling config must be bit-identical to the default path",
+            w.program.name()
+        );
+        assert_eq!(baseline.reports, reports);
     }
 }
 
