@@ -24,13 +24,28 @@
 //! speedup ratio (exact vs 1/100-sampled replay over the full grain
 //! ladder) are measured on the first workload and written into the same
 //! report.
+//!
+//! The **single-grain ladder** (first workload, Sweep3D) replays one
+//! grain at 1/2/4/8 replay threads — the intra-grain time-partitioned
+//! engine — as `sweep3d-single-t<N>` runs, plus the frozen
+//! pre-optimization [`ReferenceAnalyzer`] as `sweep3d-single-ref`.
+//! `single_grain_speedup_ratio` is the best ladder rung over the
+//! reference rung; full (non-smoke) runs fail below
+//! `SINGLE_GRAIN_SPEEDUP_FLOOR`. On a single-core host the thread rungs
+//! measure partition overhead rather than scaling, so the ratio is
+//! carried by the serial-core rewrite (window + fused tree descents +
+//! SoA decode) — an honest "this engine vs the algorithm it replaced"
+//! number either way.
 
 use reuselens::core::{
-    analyze_buffer, analyze_buffer_with, capture_program, AnalyzeOptions, SamplingConfig,
+    analyze_buffer, analyze_buffer_with, capture_program, AnalyzeOptions, ReferenceAnalyzer,
+    ReplayThreads, SamplingConfig,
 };
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::workloads::{gtc, sweep3d, BuiltWorkload};
-use reuselens_bench::report::{diff, BenchReport, BenchRun};
+use reuselens_bench::report::{
+    diff, BenchReport, BenchRun, StageSeconds, SINGLE_GRAIN_SPEEDUP_FLOOR,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -113,6 +128,49 @@ fn best_replay_wall(
         .unwrap_or(Duration::ZERO)
 }
 
+/// Best-of-`reps` wall time of one replay under explicit options (the
+/// single-grain ladder's entry point).
+fn best_replay_wall_with(
+    program: &reuselens::ir::Program,
+    buffer: &reuselens::trace::TraceBuffer,
+    grains: &[u64],
+    reps: usize,
+    opts: &AnalyzeOptions,
+) -> Duration {
+    (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let result = analyze_buffer_with(program, buffer, grains, opts)
+                .into_strict()
+                .expect("replay");
+            std::hint::black_box(result);
+            t.elapsed()
+        })
+        .min()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Best-of-`reps` wall time of the frozen pre-optimization analyzer over
+/// the same buffer at one grain — the `single_grain_speedup_ratio`
+/// denominator.
+fn best_reference_wall(
+    program: &reuselens::ir::Program,
+    buffer: &reuselens::trace::TraceBuffer,
+    grain: u64,
+    reps: usize,
+) -> Duration {
+    (0..reps.max(1))
+        .map(|_| {
+            let mut analyzer = ReferenceAnalyzer::new(program, grain);
+            let t = Instant::now();
+            buffer.replay(&mut analyzer);
+            std::hint::black_box(analyzer.finish());
+            t.elapsed()
+        })
+        .min()
+        .unwrap_or(Duration::ZERO)
+}
+
 /// Best-of-`reps` wall time of the same multi-grain replay through the
 /// constant-space sampled analyzer at rate 1/100.
 fn best_sampled_replay_wall(
@@ -135,6 +193,26 @@ fn best_sampled_replay_wall(
         })
         .min()
         .unwrap_or(Duration::ZERO)
+}
+
+/// The per-stage wall breakdown of one run's snapshot: `sum` over every
+/// span and `max` (longest single span — the critical-path figure once
+/// partition workers run concurrently).
+fn stage_breakdown(snap: &obs::MetricsSnapshot) -> Vec<(String, StageSeconds)> {
+    obs::Stage::PIPELINE_ORDER
+        .iter()
+        .map(|&stage| snap.stage(stage))
+        .filter(|stats| stats.count > 0)
+        .map(|stats| {
+            (
+                stats.stage.name().to_string(),
+                StageSeconds {
+                    sum: stats.total.as_secs_f64(),
+                    max: stats.max.as_secs_f64(),
+                },
+            )
+        })
+        .collect()
 }
 
 /// Folds a snapshot's nonzero counters into the report-wide totals.
@@ -182,12 +260,7 @@ fn main() -> ExitCode {
             obs::uninstall();
             let snap = recorder.snapshot();
             accumulate_counters(&mut counter_totals, &snap);
-            let stage_seconds = obs::Stage::PIPELINE_ORDER
-                .iter()
-                .map(|&stage| snap.stage(stage))
-                .filter(|stats| stats.count > 0)
-                .map(|stats| (stats.stage.name().to_string(), stats.total.as_secs_f64()))
-                .collect();
+            let stage_seconds = stage_breakdown(&snap);
             let run = BenchRun {
                 workload: name.to_string(),
                 grains: count as u64,
@@ -228,6 +301,61 @@ fn main() -> ExitCode {
             eprintln!("sampled speedup ratio: {ratio:.2}x at rate 1/100 (target >= 3x)");
             report.sampled_speedup_ratio = Some(ratio);
         }
+
+        // Single-grain ladder on the first (Sweep3D) workload: one grain
+        // replayed at 1/2/4/8 replay threads plus the frozen
+        // pre-optimization baseline (see the module docs).
+        if report.single_grain_speedup_ratio.is_none() {
+            let grain = GRAIN_LADDER[0];
+            let reference = best_reference_wall(&w.program, &buffer, grain, reps);
+            report.runs.push(BenchRun {
+                workload: format!("{name}-single-ref"),
+                grains: 1,
+                events: buffer.events(),
+                wall_seconds: reference.as_secs_f64(),
+                stage_seconds: Vec::new(),
+            });
+            eprintln!(
+                "{name}-single-ref: {:.3} ms (pre-optimization baseline)",
+                reference.as_secs_f64() * 1e3
+            );
+            let mut best = Duration::MAX;
+            for threads in [1usize, 2, 4, 8] {
+                let opts = AnalyzeOptions {
+                    replay_threads: match threads {
+                        1 => ReplayThreads::Serial,
+                        n => ReplayThreads::Fixed(n),
+                    },
+                    ..AnalyzeOptions::default()
+                };
+                let recorder = Arc::new(MetricsRecorder::new());
+                obs::install(recorder.clone());
+                let wall = best_replay_wall_with(&w.program, &buffer, &[grain], reps, &opts);
+                obs::uninstall();
+                let snap = recorder.snapshot();
+                accumulate_counters(&mut counter_totals, &snap);
+                best = best.min(wall);
+                let run = BenchRun {
+                    workload: format!("{name}-single-t{threads}"),
+                    grains: 1,
+                    events: buffer.events(),
+                    wall_seconds: wall.as_secs_f64(),
+                    stage_seconds: stage_breakdown(&snap),
+                };
+                eprintln!(
+                    "{name}-single-t{threads}: {:.3} ms ({:.0} ev/s)",
+                    wall.as_secs_f64() * 1e3,
+                    run.throughput(),
+                );
+                report.runs.push(run);
+            }
+            let ratio = reference.as_secs_f64() / best.as_secs_f64().max(f64::MIN_POSITIVE);
+            eprintln!(
+                "single-grain speedup ratio: {ratio:.2}x vs pre-optimization serial core \
+                 (target >= {SINGLE_GRAIN_SPEEDUP_FLOOR}x on full runs)"
+            );
+            report.single_grain_speedup_ratio = Some(ratio);
+        }
     }
 
     report.counters = counter_totals
@@ -244,6 +372,21 @@ fn main() -> ExitCode {
         opts.out.display(),
         report.throughput()
     );
+
+    // Absolute acceptance bar, full runs only: smoke workloads are too
+    // small for the serial-core gains to dominate fixed costs, so smoke
+    // records the ratio without gating on it.
+    if !opts.smoke {
+        if let Some(ratio) = report.single_grain_speedup_ratio {
+            if ratio < SINGLE_GRAIN_SPEEDUP_FLOOR {
+                eprintln!(
+                    "single-grain speedup {ratio:.2}x is below the \
+                     {SINGLE_GRAIN_SPEEDUP_FLOOR}x floor"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if let Some(baseline_path) = &opts.baseline {
         let baseline = match std::fs::read_to_string(baseline_path)

@@ -16,7 +16,10 @@
 //!       "events": 1048576,
 //!       "wall_seconds": 0.123,
 //!       "throughput_events_per_second": 3456789.0,
-//!       "stage_seconds": { "capture": 0.01, "replay": 0.12 }
+//!       "stage_seconds": {
+//!         "capture": { "sum": 0.01, "max": 0.01 },
+//!         "replay":  { "sum": 0.12, "max": 0.12 }
+//!       }
 //!     }
 //!   ],
 //!   "counters": { "events_captured": 1048576 }
@@ -33,10 +36,27 @@
 //! * `sampled_speedup_ratio` is exact-mode replay wall time divided by
 //!   sampled-mode (rate 1/100) replay wall time on the largest Sweep3D
 //!   ladder rung (target ≥ 3x); `null` until measured.
+//! * `single_grain_speedup_ratio` is the single-grain Sweep3D throughput
+//!   of the best replay-thread ladder rung divided by the frozen
+//!   pre-optimization `ReferenceAnalyzer` baseline (target ≥
+//!   [`SINGLE_GRAIN_SPEEDUP_FLOOR`]); `null` until measured. The
+//!   bench-runner gate fails full (non-smoke) runs below the floor, and
+//!   [`diff`] flags a >15% drop against a measured baseline ratio.
 //! * `runs[]` each hold one workload × grain-count measurement;
 //!   `stage_seconds` is the pipeline stage wall-time breakdown from the
 //!   run's `MetricsRecorder` snapshot and `events` counts events replayed
 //!   **per grain** (every grain replays the full captured stream).
+//!
+//!   **Schema change (this PR):** each `stage_seconds` entry is now an
+//!   object `{ "sum": S, "max": M }` instead of a bare number. `sum` is
+//!   the old value — wall seconds summed over every span of the stage —
+//!   and `max` is the longest single span. The distinction matters once
+//!   partitioned replay runs spans *concurrently*: `sum` over partition
+//!   workers overstates wall time, `max` approximates the critical path.
+//!   The schema tag stays `reuselens-bench/v1`: readers written for the
+//!   old shape ignore the object, and [`BenchReport::from_json`] still
+//!   accepts legacy bare-number entries (parsed as `sum = max = value`)
+//!   so pre-change baselines keep diffing.
 //! * `counters` is the final counter snapshot across all runs.
 //!
 //! [`diff`] compares two reports and flags any throughput drop beyond
@@ -51,6 +71,21 @@ pub const SCHEMA: &str = "reuselens-bench/v1";
 /// Fractional throughput drop that counts as a regression (>15%).
 pub const REGRESSION_THRESHOLD: f64 = 0.15;
 
+/// Acceptance floor for `single_grain_speedup_ratio` on full bench runs:
+/// the optimized single-grain replay (best ladder rung) must be at least
+/// this many times faster than the frozen pre-optimization baseline.
+pub const SINGLE_GRAIN_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Wall seconds of one pipeline stage across a run, both ways of adding
+/// spans up (see the module docs on the `stage_seconds` schema change).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSeconds {
+    /// Seconds summed over every span of the stage.
+    pub sum: f64,
+    /// Seconds of the longest single span.
+    pub max: f64,
+}
+
 /// One workload × grain-count measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRun {
@@ -63,7 +98,7 @@ pub struct BenchRun {
     /// Wall seconds for the full multi-grain replay (best of reps).
     pub wall_seconds: f64,
     /// Pipeline stage wall-time breakdown, `(stage name, seconds)`.
-    pub stage_seconds: Vec<(String, f64)>,
+    pub stage_seconds: Vec<(String, StageSeconds)>,
 }
 
 impl BenchRun {
@@ -93,6 +128,9 @@ pub struct BenchReport {
     pub obs_overhead_ratio: Option<f64>,
     /// Exact/sampled replay wall-time ratio from the sampled ladder rung.
     pub sampled_speedup_ratio: Option<f64>,
+    /// Best-rung single-grain throughput over the frozen pre-optimization
+    /// baseline (see the module docs).
+    pub single_grain_speedup_ratio: Option<f64>,
 }
 
 impl BenchReport {
@@ -103,6 +141,7 @@ impl BenchReport {
             counters: Vec::new(),
             obs_overhead_ratio: None,
             sampled_speedup_ratio: None,
+            single_grain_speedup_ratio: None,
         }
     }
 
@@ -127,7 +166,15 @@ impl BenchReport {
                 let stages = run
                     .stage_seconds
                     .iter()
-                    .map(|(name, secs)| (name.clone(), Json::Num(*secs)))
+                    .map(|(name, secs)| {
+                        (
+                            name.clone(),
+                            Json::Obj(vec![
+                                ("sum".into(), Json::Num(secs.sum)),
+                                ("max".into(), Json::Num(secs.max)),
+                            ]),
+                        )
+                    })
                     .collect();
                 Json::Obj(vec![
                     ("workload".into(), Json::Str(run.workload.clone())),
@@ -167,6 +214,13 @@ impl BenchReport {
                     None => Json::Null,
                 },
             ),
+            (
+                "single_grain_speedup_ratio".into(),
+                match self.single_grain_speedup_ratio {
+                    Some(r) => Json::Num(r),
+                    None => Json::Null,
+                },
+            ),
             ("runs".into(), Json::Arr(runs)),
             ("counters".into(), Json::Obj(counters)),
         ])
@@ -198,7 +252,22 @@ impl BenchReport {
             let stage_seconds = match run.get("stage_seconds") {
                 Some(Json::Obj(pairs)) => pairs
                     .iter()
-                    .filter_map(|(k, v)| v.as_f64().map(|s| (k.clone(), s)))
+                    .filter_map(|(k, v)| {
+                        // Current form: { "sum": S, "max": M }. Legacy
+                        // form (pre-partitioned-replay): a bare number,
+                        // read as sum = max = value.
+                        let secs = match v {
+                            Json::Obj(_) => StageSeconds {
+                                sum: v.get("sum").and_then(Json::as_f64)?,
+                                max: v.get("max").and_then(Json::as_f64)?,
+                            },
+                            _ => {
+                                let n = v.as_f64()?;
+                                StageSeconds { sum: n, max: n }
+                            }
+                        };
+                        Some((k.clone(), secs))
+                    })
                     .collect(),
                 _ => Vec::new(),
             };
@@ -226,6 +295,9 @@ impl BenchReport {
             counters,
             obs_overhead_ratio: doc.get("obs_overhead_ratio").and_then(Json::as_f64),
             sampled_speedup_ratio: doc.get("sampled_speedup_ratio").and_then(Json::as_f64),
+            single_grain_speedup_ratio: doc
+                .get("single_grain_speedup_ratio")
+                .and_then(Json::as_f64),
         })
     }
 }
@@ -312,6 +384,16 @@ pub fn diff(baseline: &BenchReport, current: &BenchReport) -> DiffOutcome {
             ));
         }
     }
+    // The single-grain speedup is gated like a throughput line: a >15%
+    // drop against a measured baseline ratio regresses the diff (the
+    // absolute >= SINGLE_GRAIN_SPEEDUP_FLOOR bar is enforced by the
+    // bench-runner on full runs).
+    if let (Some(base), Some(cur)) = (
+        baseline.single_grain_speedup_ratio,
+        current.single_grain_speedup_ratio,
+    ) {
+        lines.push(compare("single_grain_speedup", base, cur));
+    }
     let regressed = lines.iter().any(|l| l.regressed);
     DiffOutcome { lines, regressed }
 }
@@ -344,7 +426,10 @@ mod tests {
             grains,
             events,
             wall_seconds: wall,
-            stage_seconds: vec![("replay".to_string(), wall)],
+            stage_seconds: vec![(
+                "replay".to_string(),
+                StageSeconds { sum: wall, max: wall },
+            )],
         }
     }
 
@@ -354,6 +439,7 @@ mod tests {
             counters: vec![("events_decoded".to_string(), 12345)],
             obs_overhead_ratio: Some(1.05),
             sampled_speedup_ratio: Some(4.2),
+            single_grain_speedup_ratio: Some(6.1),
         }
     }
 
@@ -408,8 +494,49 @@ mod tests {
         let base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
         let cur = report(vec![run("sweep3d", 8, 1000, 1.0)]);
         let outcome = diff(&base, &cur);
-        // Only the overall line: no matched runs.
-        assert_eq!(outcome.lines.len(), 1);
+        // No matched runs: just the overall line and the speedup-ratio
+        // line (both sides of the fixture measure the ratio).
+        assert_eq!(outcome.lines.len(), 2);
+        assert!(outcome
+            .lines
+            .iter()
+            .all(|l| l.subject == "overall" || l.subject == "single_grain_speedup"));
+    }
+
+    #[test]
+    fn from_json_accepts_legacy_bare_number_stage_seconds() {
+        let legacy = r#"{
+          "schema": "reuselens-bench/v1",
+          "runs": [{"workload": "sweep3d", "grains": 4, "events": 1000,
+                    "wall_seconds": 0.5, "stage_seconds": {"replay": 0.5}}]
+        }"#;
+        let parsed = BenchReport::from_json(legacy).unwrap();
+        assert_eq!(
+            parsed.runs[0].stage_seconds,
+            vec![("replay".to_string(), StageSeconds { sum: 0.5, max: 0.5 })]
+        );
+        assert_eq!(parsed.single_grain_speedup_ratio, None);
+    }
+
+    #[test]
+    fn diff_gates_single_grain_speedup_ratio() {
+        let mut base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
+        let mut cur = base.clone();
+        base.single_grain_speedup_ratio = Some(6.0);
+        // 33% drop: past the 15% bar.
+        cur.single_grain_speedup_ratio = Some(4.0);
+        let outcome = diff(&base, &cur);
+        assert!(outcome.regressed);
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| l.subject == "single_grain_speedup" && l.regressed));
+        // An 8% wobble stays green.
+        cur.single_grain_speedup_ratio = Some(5.5);
+        assert!(!diff(&base, &cur).regressed);
+        // An unmeasured side is skipped, not failed.
+        cur.single_grain_speedup_ratio = None;
+        assert!(!diff(&base, &cur).regressed);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 use crate::analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
 use crate::budget::{AnalysisBudget, BudgetExceeded, BudgetProgress};
+use crate::partition::{replay_partitioned, ReplayThreads};
 use crate::patterns::ReuseProfile;
 use crate::sampling::{SampledAnalyzer, SamplingConfig};
 use reuselens_ir::{AccessKind, ArrayId, Program, RefId, ScopeId};
@@ -280,6 +281,13 @@ pub struct AnalyzeOptions {
     /// the constant-space [`SampledAnalyzer`] and marks each profile with
     /// its [`SamplingInfo`](crate::SamplingInfo).
     pub sampling: SamplingConfig,
+    /// How many threads one grain's replay may split across
+    /// ([`ReplayThreads::Serial`] by default). When this resolves to more
+    /// than one partition, exact and fixed-rate-sampled replays run the
+    /// time-partitioned engine (see [`crate::ReplayThreads`]) with
+    /// bit-identical output; adaptive sampling is inherently sequential
+    /// and falls back to serial replay.
+    pub replay_threads: ReplayThreads,
 }
 
 impl Default for AnalyzeOptions {
@@ -289,6 +297,7 @@ impl Default for AnalyzeOptions {
             validate: false,
             retry: true,
             sampling: SamplingConfig::Exact,
+            replay_threads: ReplayThreads::Serial,
         }
     }
 }
@@ -529,6 +538,24 @@ fn replay_grain(
     let start = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(
         || -> Result<(ReuseProfile, u64), GrainError> {
+            let parts = opts.replay_threads.resolve();
+            if parts > 1 && !matches!(opts.sampling, SamplingConfig::Adaptive { .. }) {
+                // Validate-first: the partitioned engine replays segments
+                // on the unchecked fast path, so an explicit validation
+                // request runs the checking decoder over the whole buffer
+                // up front and surfaces the same `Decode` errors.
+                if opts.validate {
+                    buffer.validate().map_err(GrainError::Decode)?;
+                }
+                return replay_partitioned(
+                    program,
+                    buffer,
+                    block_size,
+                    parts,
+                    opts.sampling,
+                    &opts.budget,
+                );
+            }
             let mut analyzer = GrainAnalyzer::new(program, block_size, opts.sampling);
             if opts.validate || !opts.budget.is_unlimited() {
                 replay_guarded(buffer, &mut analyzer, &opts.budget)?;

@@ -10,16 +10,40 @@
 
 use crate::blocktable::BlockTable;
 use crate::histogram::Histogram;
-use crate::ostree::OrderStatTree;
+use crate::timebits::TimeBits;
 use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
 use crate::scopestack::ScopeStack;
 use reuselens_ir::{AccessKind, Program, RefId, ScopeId};
-use reuselens_trace::{AccessRecord, TraceSink};
+use reuselens_trace::{AccessRecord, SoaBatch, TraceSink};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Pattern count above which a sink switches from linear scan to a hash map.
 const SMALL_MAP_LIMIT: usize = 8;
+
+/// Capacity of the recent-access window: the number of most-recently-used
+/// distinct blocks kept out of the tree and the block table entirely.
+///
+/// Real access streams are dominated by short reuses — the paper's sweeps
+/// spend 7 of every 8 accesses on within-line spatial reuse at distance 0 —
+/// so the hot path resolves any reuse with distance `< WINDOW` by scanning a
+/// tiny array from its most-recent end and never touches the radix table or
+/// the order-statistic tree. Only evictions from the window (one per *cold*
+/// miss once the window is full) pay for tree and table maintenance, and the
+/// reuse path that does reach the tree folds lookup and reinsert into a
+/// single fused operation ([`TimeBits::count_reinsert`]).
+pub(crate) const WINDOW: usize = 32;
+
+/// One entry of the recent-access window (see [`WINDOW`]): a distinct block
+/// plus the clock and static reference of its last access. Entries are kept
+/// in ascending time order, and every entry's time is greater than every key
+/// in the tree — that invariant is what makes window distances exact.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WinEntry {
+    pub(crate) block: u64,
+    pub(crate) time: u64,
+    pub(crate) ref_id: u32,
+}
 
 /// Per-sink pattern storage. The paper observes that each reference sees a
 /// small, fixed set of (source, carrier) combinations, so a short linear
@@ -31,6 +55,10 @@ const SMALL_MAP_LIMIT: usize = 8;
 pub(crate) struct SinkPatterns {
     pub(crate) entries: Vec<(ScopeId, ScopeId, Histogram)>,
     pub(crate) index: Option<HashMap<(ScopeId, ScopeId), usize>>,
+    /// Last entry hit — a hint only (re-checked before use). Reuse streams
+    /// record long runs of the same (source, carrier) pair, so this turns
+    /// the common record into one comparison.
+    hot: u32,
 }
 
 impl SinkPatterns {
@@ -44,10 +72,20 @@ impl SinkPatterns {
     /// `count == 1` case and compiles to the same code it always did.
     #[inline]
     pub(crate) fn record_n(&mut self, source: ScopeId, carrier: ScopeId, distance: u64, count: u64) {
+        if let Some((s, c, h)) = self.entries.get_mut(self.hot as usize) {
+            if *s == source && *c == carrier {
+                h.add_n(distance, count);
+                return;
+            }
+        }
         if let Some(index) = &mut self.index {
             match index.entry((source, carrier)) {
-                Entry::Occupied(e) => self.entries[*e.get()].2.add_n(distance, count),
+                Entry::Occupied(e) => {
+                    self.hot = *e.get() as u32;
+                    self.entries[*e.get()].2.add_n(distance, count);
+                }
                 Entry::Vacant(e) => {
+                    self.hot = self.entries.len() as u32;
                     e.insert(self.entries.len());
                     let mut h = Histogram::new();
                     h.add_n(distance, count);
@@ -56,15 +94,45 @@ impl SinkPatterns {
             }
             return;
         }
-        for (s, c, h) in &mut self.entries {
+        for (i, (s, c, h)) in self.entries.iter_mut().enumerate() {
             if *s == source && *c == carrier {
+                self.hot = i as u32;
                 h.add_n(distance, count);
                 return;
             }
         }
+        self.hot = self.entries.len() as u32;
         let mut h = Histogram::new();
         h.add_n(distance, count);
         self.entries.push((source, carrier, h));
+        self.maybe_index();
+    }
+
+    /// Merges a whole histogram into the `(source, carrier)` pattern —
+    /// the stitch path of partitioned replay folding one worker's
+    /// measurements into the master set.
+    pub(crate) fn merge(&mut self, source: ScopeId, carrier: ScopeId, h: &Histogram) {
+        if let Some(index) = &mut self.index {
+            match index.entry((source, carrier)) {
+                Entry::Occupied(e) => self.entries[*e.get()].2.merge(h),
+                Entry::Vacant(e) => {
+                    e.insert(self.entries.len());
+                    self.entries.push((source, carrier, h.clone()));
+                }
+            }
+            return;
+        }
+        for (s, c, existing) in &mut self.entries {
+            if *s == source && *c == carrier {
+                existing.merge(h);
+                return;
+            }
+        }
+        self.entries.push((source, carrier, h.clone()));
+        self.maybe_index();
+    }
+
+    fn maybe_index(&mut self) {
         if self.entries.len() > SMALL_MAP_LIMIT {
             self.index = Some(
                 self.entries
@@ -119,7 +187,9 @@ pub struct ReuseAnalyzer {
     block_shift: u32,
     clock: u64,
     table: BlockTable,
-    tree: OrderStatTree,
+    tree: TimeBits,
+    window: Vec<WinEntry>,
+    distinct: u64,
     stack: ScopeStack,
     per_sink: Vec<SinkPatterns>,
     cold: Vec<u64>,
@@ -144,7 +214,9 @@ impl ReuseAnalyzer {
             block_shift: block_size.trailing_zeros(),
             clock: 0,
             table: BlockTable::new(),
-            tree: OrderStatTree::new(),
+            tree: TimeBits::new(),
+            window: Vec::with_capacity(WINDOW + 1),
+            distinct: 0,
             stack: ScopeStack::new(),
             per_sink: (0..nrefs).map(|_| SinkPatterns::default()).collect(),
             cold: vec![0; nrefs],
@@ -163,14 +235,16 @@ impl ReuseAnalyzer {
         self.clock
     }
 
-    /// Distinct blocks entered into the block table so far.
+    /// Distinct blocks observed so far (whether currently held in the
+    /// recent-access window or already evicted into the block table).
     pub fn distinct_blocks(&self) -> u64 {
-        self.table.distinct_blocks()
+        self.distinct
     }
 
-    /// Current size of the order-statistic tree (one node per live block).
+    /// Live blocks tracked for distance counting: order-statistic tree
+    /// nodes plus recent-access window entries (one per distinct block).
     pub fn tree_nodes(&self) -> usize {
-        self.tree.len()
+        self.tree.len() + self.window.len()
     }
 
     /// Distance the most recent access was measured at: `Some(d)` for a
@@ -202,36 +276,119 @@ impl ReuseAnalyzer {
             patterns,
             cold: self.cold,
             total_accesses: self.clock,
-            distinct_blocks: self.table.distinct_blocks(),
+            distinct_blocks: self.distinct,
             sampling: None,
+        }
+    }
+
+    /// The per-access hot path, shared by every [`TraceSink`] entry point.
+    ///
+    /// The recent-access window holds the [`WINDOW`] most recently used
+    /// distinct blocks in ascending time order; every window time is
+    /// greater than every tree key, and the table/tree only ever learn
+    /// about a block when it is evicted from the window. That invariant
+    /// makes the three cases exact:
+    ///
+    /// * **window hit** at index `i`: the blocks touched since the
+    ///   previous access are exactly the entries behind `i`, so
+    ///   `distance = len - 1 - i` with no tree or table work at all;
+    /// * **table hit**: all `len` window blocks are more recent than the
+    ///   previous access, so `distance = len + |tree keys > prev.time|`,
+    ///   where the count and the tree update (drop `prev.time`, add the
+    ///   newly evicted window head) fuse into one descent
+    ///   ([`OrderStatTree::count_reinsert`]);
+    /// * **cold**: first touch; the block enters the window and the oldest
+    ///   entry (if any) spills into the tree + table.
+    ///
+    /// A block sitting in the window may leave a stale table entry behind
+    /// from an earlier eviction; that is harmless because the window is
+    /// consulted first and the entry is overwritten on the next eviction.
+    #[inline]
+    fn access_block(&mut self, r: u32, block: u64) {
+        self.clock += 1;
+        let now = self.clock;
+        let len = self.window.len();
+        // Distance-0 fast path: a repeat of the most recent block (the
+        // dominant case — within-line spatial reuse on a unit-stride
+        // sweep) updates the tail entry in place, with no remove/push.
+        if len > 0 && self.window[len - 1].block == block {
+            let e = self.window[len - 1];
+            self.window[len - 1] = WinEntry { block, time: now, ref_id: r };
+            let carrier = self.stack.carrier(e.time);
+            let source = self.ref_scopes[e.ref_id as usize];
+            self.per_sink[r as usize].record(source, carrier, 0);
+            self.last_distance = Some(0);
+            return;
+        }
+        for i in (0..len.saturating_sub(1)).rev() {
+            if self.window[i].block == block {
+                let e = self.window.remove(i);
+                let distance = (len - 1 - i) as u64;
+                let carrier = self.stack.carrier(e.time);
+                let source = self.ref_scopes[e.ref_id as usize];
+                self.per_sink[r as usize].record(source, carrier, distance);
+                self.last_distance = Some(distance);
+                self.window.push(WinEntry { block, time: now, ref_id: r });
+                return;
+            }
+        }
+        self.access_past_window(r, block, now, len);
+    }
+
+    /// The table/tree path for an access that missed the recent window —
+    /// a long reuse or a cold first touch. Outlined and kept out of the
+    /// inlined hot path: mixing the tree machinery into `access_block`
+    /// costs the dominant short-reuse path real registers and icache.
+    #[cold]
+    #[inline(never)]
+    fn access_past_window(&mut self, r: u32, block: u64, now: u64, len: usize) {
+        match self.table.get(block) {
+            Some(prev) => {
+                let (prev_time, prev_ref) = (prev.time, prev.ref_id);
+                // The table only holds evicted blocks, so the window is
+                // necessarily full here; spill its oldest entry to make
+                // room for this block at the recent end.
+                let e = self.window.remove(0);
+                let (_, count) = self.tree.count_reinsert(prev_time, e.time);
+                self.table.set(e.block, e.time, e.ref_id);
+                let distance = len as u64 + count;
+                let carrier = self.stack.carrier(prev_time);
+                let source = self.ref_scopes[prev_ref as usize];
+                self.per_sink[r as usize].record(source, carrier, distance);
+                self.last_distance = Some(distance);
+            }
+            None => {
+                self.cold[r as usize] += 1;
+                self.distinct += 1;
+                self.last_distance = None;
+            }
+        }
+        self.window.push(WinEntry { block, time: now, ref_id: r });
+        if self.window.len() > WINDOW {
+            let e = self.window.remove(0);
+            self.tree.insert(e.time);
+            self.table.set(e.block, e.time, e.ref_id);
         }
     }
 }
 
 impl TraceSink for ReuseAnalyzer {
     fn access(&mut self, r: RefId, addr: u64, _size: u32, _kind: AccessKind) {
-        let block = addr >> self.block_shift;
-        self.clock += 1;
-        let now = self.clock;
-        match self.table.get(block) {
-            Some(prev) => {
-                let distance = self.tree.count_greater(prev.time);
-                // `now` is always the new maximum clock, so the fused
-                // reinsert re-keys on the tree's right spine instead of
-                // doing two full root-to-leaf passes.
-                self.tree.reinsert(prev.time, now);
-                let carrier = self.stack.carrier(prev.time);
-                let source = self.ref_scopes[prev.ref_id as usize];
-                self.per_sink[r.index()].record(source, carrier, distance);
-                self.last_distance = Some(distance);
-            }
-            None => {
-                self.cold[r.index()] += 1;
-                self.tree.insert(now);
-                self.last_distance = None;
-            }
+        self.access_block(r.0, addr >> self.block_shift);
+    }
+
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        for a in batch {
+            self.access_block(a.r.0, a.addr >> self.block_shift);
         }
-        self.table.set(block, now, r.0);
+    }
+
+    fn access_soa(&mut self, batch: &SoaBatch) {
+        // Stream the two lanes the analyzer actually needs; the size and
+        // kind lanes are never touched, and no per-event struct exists.
+        for (&r, &addr) in batch.refs.iter().zip(&batch.addrs) {
+            self.access_block(r, addr >> self.block_shift);
+        }
     }
 
     fn enter(&mut self, scope: ScopeId) {
@@ -290,6 +447,11 @@ impl TraceSink for MultiGrainAnalyzer {
         // tables stay hot, instead of interleaving per event.
         for a in &mut self.analyzers {
             a.access_batch(batch);
+        }
+    }
+    fn access_soa(&mut self, batch: &SoaBatch) {
+        for a in &mut self.analyzers {
+            a.access_soa(batch);
         }
     }
 }

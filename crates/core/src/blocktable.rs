@@ -116,6 +116,32 @@ impl BlockTable {
         }
         leaf[i3] = Slot { time, ref_id };
     }
+
+    /// Visits every recorded block in ascending block-number order —
+    /// how partitioned replay enumerates a worker's final last-access
+    /// set when handing it to the stitch pass.
+    pub fn for_each(&self, mut f: impl FnMut(u64, BlockEntry)) {
+        for (i1, mid) in self.l1.iter().enumerate() {
+            let Some(mid) = mid else { continue };
+            for (i2, leaf) in mid.iter().enumerate() {
+                let Some(leaf) = leaf else { continue };
+                for (i3, slot) in leaf.iter().enumerate() {
+                    if slot.time != 0 {
+                        let block = ((i1 as u64) << (L2_BITS + L3_BITS))
+                            | ((i2 as u64) << L3_BITS)
+                            | i3 as u64;
+                        f(
+                            block,
+                            BlockEntry {
+                                time: slot.time,
+                                ref_id: slot.ref_id,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[inline]

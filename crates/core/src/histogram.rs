@@ -7,7 +7,6 @@
 //! regardless of the program's footprint while relative error stays under
 //! `1/SUBBINS_PER_OCTAVE`.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Distances below this are binned exactly.
@@ -56,11 +55,27 @@ fn range_of(bin: u32) -> (u64, u64) {
 /// // Everything at distance >= 1024 would miss in a 1024-block cache:
 /// assert_eq!(h.count_ge(1024), 1.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    bins: BTreeMap<u32, u64>,
+    /// Occupied bins, sorted by bin index. Patterns occupy a handful of
+    /// bins, so a sorted vector beats a tree map and keeps iteration a
+    /// linear scan over one allocation.
+    bins: Vec<(u32, u64)>,
     total: u64,
+    /// Index of the last bin touched by [`add_n`](Self::add_n) — a pure
+    /// hint for the hot path (real access streams record long runs of
+    /// identical distances). Never consulted without re-checking the bin
+    /// id, and deliberately excluded from equality.
+    hot: u32,
 }
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Histogram) -> bool {
+        self.bins == other.bins && self.total == other.total
+    }
+}
+
+impl Eq for Histogram {}
 
 impl Histogram {
     /// Creates an empty histogram.
@@ -75,12 +90,32 @@ impl Histogram {
     }
 
     /// Records `count` reuses at the same distance.
+    #[inline]
     pub fn add_n(&mut self, distance: u64, count: u64) {
         if count == 0 {
             return;
         }
-        *self.bins.entry(bin_of(distance)).or_insert(0) += count;
+        let bin = bin_of(distance);
         self.total += count;
+        // Hot path: consecutive accesses overwhelmingly land in the same
+        // bin (unit-stride sweeps hit distance 0 seven times out of
+        // eight), so one equality check replaces the search.
+        if let Some(e) = self.bins.get_mut(self.hot as usize) {
+            if e.0 == bin {
+                e.1 += count;
+                return;
+            }
+        }
+        match self.bins.binary_search_by_key(&bin, |e| e.0) {
+            Ok(i) => {
+                self.bins[i].1 += count;
+                self.hot = i as u32;
+            }
+            Err(i) => {
+                self.bins.insert(i, (bin, count));
+                self.hot = i as u32;
+            }
+        }
     }
 
     /// Total recorded reuses.
@@ -101,7 +136,7 @@ impl Histogram {
     /// Iterates `(low, high, count)` over occupied bins in increasing
     /// distance order; each bin covers distances in `[low, high)`.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.bins.iter().map(|(&b, &c)| {
+        self.bins.iter().map(|&(b, c)| {
             let (lo, hi) = range_of(b);
             (lo, hi, c)
         })
@@ -109,8 +144,11 @@ impl Histogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (&b, &c) in &other.bins {
-            *self.bins.entry(b).or_insert(0) += c;
+        for &(b, c) in &other.bins {
+            match self.bins.binary_search_by_key(&b, |e| e.0) {
+                Ok(i) => self.bins[i].1 += c,
+                Err(i) => self.bins.insert(i, (b, c)),
+            }
         }
         self.total += other.total;
     }
@@ -198,7 +236,7 @@ impl Histogram {
 
     /// Largest recorded distance (upper bound of the top bin), or `None`.
     pub fn max_distance(&self) -> Option<u64> {
-        self.bins.keys().next_back().map(|&b| range_of(b).1 - 1)
+        self.bins.last().map(|&(b, _)| range_of(b).1 - 1)
     }
 }
 

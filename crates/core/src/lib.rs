@@ -39,11 +39,14 @@ mod context;
 mod histogram;
 pub mod oracle;
 mod ostree;
+mod partition;
 mod patterns;
+mod reference;
 mod sampling;
 mod scopestack;
 mod serialize;
 mod spatial;
+mod timebits;
 
 pub use analyze::{
     analyze_buffer, analyze_buffer_with, analyze_program, analyze_program_degraded,
@@ -52,6 +55,8 @@ pub use analyze::{
     AnalyzeOptions, FailureReport, GrainError, PartialAnalysis, ReplayTiming,
 };
 pub use analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
+pub use partition::ReplayThreads;
+pub use reference::ReferenceAnalyzer;
 pub use budget::{AnalysisBudget, BudgetExceeded, BudgetLimit, BudgetProgress};
 pub use blocktable::{BlockEntry, BlockTable, MAX_BLOCKS};
 pub use context::{ContextAnalyzer, ContextId, ContextProfile, CtxPattern, CtxPatternKey};
@@ -60,5 +65,6 @@ pub use ostree::OrderStatTree;
 pub use patterns::{PatternKey, ReusePattern, ReuseProfile};
 pub use sampling::{SampledAnalyzer, SamplingConfig, SamplingInfo};
 pub use scopestack::ScopeStack;
+pub use timebits::TimeBits;
 pub use serialize::{read_profiles, write_profiles, ReadError, SavedProfiles};
 pub use spatial::{measure_spatial, ArraySpatial, SpatialProfile, SpatialSink};

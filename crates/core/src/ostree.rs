@@ -142,6 +142,114 @@ impl OrderStatTree {
         (root, removed)
     }
 
+    /// Removes `key` while counting, in the same descent, how many keys
+    /// strictly greater than `key` the tree held *before* the removal.
+    /// Returns `(was_present, count)`; `key` need not be present (the
+    /// count is still exact, matching [`count_greater`](Self::count_greater)).
+    ///
+    /// The stitch phase of partitioned replay uses this to lazily retire a
+    /// predecessor's last-access entry and read its rank in one traversal.
+    pub fn remove_counting(&mut self, key: u64) -> (bool, u64) {
+        let mut count = 0u64;
+        let (root, removed) = self.remove_counting_at(self.root, key, &mut count);
+        self.root = root;
+        (removed, count)
+    }
+
+    fn remove_counting_at(&mut self, n: u32, key: u64, count: &mut u64) -> (u32, bool) {
+        if n == NIL {
+            return (NIL, false);
+        }
+        let (nk, left, right) = {
+            let node = &self.nodes[n as usize];
+            (node.key, node.left, node.right)
+        };
+        let removed;
+        if key < nk {
+            *count += self.size(right) as u64 + 1;
+            let (child, rem) = self.remove_counting_at(left, key, count);
+            self.nodes[n as usize].left = child;
+            removed = rem;
+        } else if key > nk {
+            let (child, rem) = self.remove_counting_at(right, key, count);
+            self.nodes[n as usize].right = child;
+            removed = rem;
+        } else {
+            *count += self.size(right) as u64;
+            self.free.push(n);
+            if left == NIL {
+                return (right, true);
+            }
+            if right == NIL {
+                return (left, true);
+            }
+            let succ_key = self.min_key(right);
+            let (new_right, _) = self.remove_at(right, succ_key);
+            let replacement = self.alloc(succ_key);
+            self.nodes[replacement as usize].left = left;
+            self.nodes[replacement as usize].right = new_right;
+            return (self.rebalance(replacement), true);
+        }
+        (self.rebalance(n), removed)
+    }
+
+    /// Fuses the analyzer's per-access triple — `count_greater(old)`,
+    /// `remove(old)`, `insert(new)` — into a single operation. Returns
+    /// `(old_was_present, count)` where `count` is the number of keys
+    /// strictly greater than `old` in the tree *before* the operation
+    /// (i.e. the reuse distance the unfused pair would have measured).
+    ///
+    /// When `new` is the running maximum — the analyzer's monotone-clock
+    /// pattern — both the counting and the structural edit complete in one
+    /// root-to-leaf descent: every key greater than `old` lives on the
+    /// right-spine path shared by both keys, and when `old` is the subtree
+    /// maximum the node is re-keyed in place with no rotation or
+    /// allocation. Arbitrary `old`/`new` remain correct via the sequenced
+    /// counting-removal + insert fallback.
+    pub fn count_reinsert(&mut self, old: u64, new: u64) -> (bool, u64) {
+        let mut count = 0u64;
+        let (root, removed) = self.count_reinsert_at(self.root, old, new, &mut count);
+        self.root = root;
+        (removed, count)
+    }
+
+    fn count_reinsert_at(&mut self, n: u32, old: u64, new: u64, count: &mut u64) -> (u32, bool) {
+        if n == NIL {
+            // `old` is absent below an empty slot and no key here exceeds
+            // it; just insert `new`.
+            return (self.alloc(new), false);
+        }
+        let (nk, right) = {
+            let node = &self.nodes[n as usize];
+            (node.key, node.right)
+        };
+        if old > nk && new > nk {
+            // Both paths continue right, and nothing in this node or its
+            // left subtree exceeds `old`: fused descent.
+            let (child, removed) = self.count_reinsert_at(right, old, new, count);
+            self.nodes[n as usize].right = child;
+            return (self.rebalance(n), removed);
+        }
+        if old == nk {
+            if new == old {
+                // Remove-then-insert of the same present key is a no-op.
+                *count += self.size(right) as u64;
+                return (n, true);
+            }
+            if new > old && right == NIL {
+                // `old` is the subtree maximum: nothing exceeds it, and the
+                // node can be re-keyed in place.
+                self.nodes[n as usize].key = new;
+                return (n, true);
+            }
+        }
+        // Paths diverge: finish the removal (folding the count into its
+        // descent), then insert into the rebalanced result.
+        let (mid, removed) = self.remove_counting_at(n, old, count);
+        let (root, _) = self.insert_at(mid, new);
+        (root, removed)
+    }
+
     /// Counts keys strictly greater than `key` (which need not be present).
     pub fn count_greater(&self, key: u64) -> u64 {
         let mut n = self.root;
@@ -484,6 +592,100 @@ mod tests {
         assert!(!t.contains(3) && t.contains(9));
         assert_eq!(t.len(), 2);
         t.check_invariants();
+    }
+
+    /// `remove_counting` must agree with the unfused
+    /// `count_greater` + `remove` pair on random key mixes (present and
+    /// absent), against a `BTreeSet` reference.
+    #[test]
+    fn remove_counting_matches_unfused_pair() {
+        let mut rng = SplitMix64::seed_from_u64(0x5eed_c0de);
+        for _case in 0..64 {
+            let mut t = OrderStatTree::new();
+            let mut set = BTreeSet::new();
+            for _ in 0..rng.gen_range(1..200) {
+                let k = rng.gen_range(0..300);
+                t.insert(k);
+                set.insert(k);
+            }
+            for _ in 0..rng.gen_range(1..200) {
+                let k = rng.gen_range(0..300);
+                let expected_count = set.range(k + 1..).count() as u64;
+                let expected_removed = set.remove(&k);
+                let (removed, count) = t.remove_counting(k);
+                assert_eq!(removed, expected_removed);
+                assert_eq!(count, expected_count);
+                assert_eq!(t.len(), set.len());
+            }
+            t.check_invariants();
+        }
+    }
+
+    /// `count_reinsert` must agree with the unfused
+    /// `count_greater(old)` + `reinsert(old, new)` sequence for arbitrary
+    /// old/new pairs, including absent `old`, colliding `new`, and
+    /// `old == new`.
+    #[test]
+    fn count_reinsert_matches_unfused_sequence() {
+        let mut rng = SplitMix64::seed_from_u64(0xc0_0217_abcd);
+        for _case in 0..64 {
+            let mut fused = OrderStatTree::new();
+            let mut unfused = OrderStatTree::new();
+            let mut set = BTreeSet::new();
+            for _ in 0..rng.gen_range(1..100) {
+                let k = rng.gen_range(0..200);
+                fused.insert(k);
+                unfused.insert(k);
+                set.insert(k);
+            }
+            for _ in 0..rng.gen_range(1..300) {
+                let old = rng.gen_range(0..200);
+                let new = rng.gen_range(0..200);
+                let expected_count = set.range(old + 1..).count() as u64;
+                assert_eq!(unfused.count_greater(old), expected_count);
+                let expected_removed = unfused.reinsert(old, new);
+                set.remove(&old);
+                set.insert(new);
+                let (removed, count) = fused.count_reinsert(old, new);
+                assert_eq!(removed, expected_removed, "old {old} new {new}");
+                assert_eq!(count, expected_count, "old {old} new {new}");
+                assert_eq!(fused.len(), set.len());
+            }
+            fused.check_invariants();
+            let live: Vec<u64> = set.iter().copied().collect();
+            for &k in &live {
+                assert!(fused.contains(k));
+            }
+        }
+    }
+
+    /// The partitioned stitch's exact pattern: monotone clock, `new` is
+    /// always the running maximum, `old` is a live key. The fused op must
+    /// never allocate on the right-spine rekey path.
+    #[test]
+    fn count_reinsert_monotone_clock_pattern() {
+        let mut rng = SplitMix64::seed_from_u64(0x9a17_0b5e);
+        let mut t = OrderStatTree::new();
+        let mut set = BTreeSet::new();
+        let mut clock = 0u64;
+        for _ in 0..48 {
+            clock += 1;
+            t.insert(clock);
+            set.insert(clock);
+        }
+        for _ in 0..2000 {
+            clock += 1;
+            let live: Vec<u64> = set.iter().copied().collect();
+            let old = live[rng.gen_range(0..live.len() as u64) as usize];
+            let expected = set.range(old + 1..).count() as u64;
+            let (removed, count) = t.count_reinsert(old, clock);
+            assert!(removed);
+            assert_eq!(count, expected);
+            set.remove(&old);
+            set.insert(clock);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), set.len());
     }
 
     /// The analyzer's exact pattern: clock-ordered inserts, reinsert moves

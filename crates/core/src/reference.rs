@@ -1,0 +1,171 @@
+//! The pre-optimization serial analyzer, kept as a measurement baseline.
+//!
+//! [`ReferenceAnalyzer`] is the reuse-distance engine exactly as it stood
+//! before the batch-vectorized serial core landed: a radix
+//! [`BlockTable`] probe on every access, a *separate* `count_greater`
+//! descent followed by a `reinsert` descent on the order-statistic tree,
+//! and the per-record `access_batch` replay path (no struct-of-arrays
+//! lane streaming, no recent-access window). It exists for two reasons:
+//!
+//! * the differential test suite pins the optimized
+//!   [`ReuseAnalyzer`](crate::ReuseAnalyzer) — window hot path, fused
+//!   single-descent tree ops, SoA decode — to this known-good
+//!   implementation, bit for bit;
+//! * the bench runner measures `single_grain_speedup_ratio` against it,
+//!   so the recorded speedup is the honest "this PR vs the algorithm it
+//!   replaced" number rather than a thread-scaling artifact.
+//!
+//! It is deliberately *not* maintained for speed; do not grow features
+//! onto it.
+
+use crate::analyzer::SinkPatterns;
+use crate::blocktable::BlockTable;
+use crate::ostree::OrderStatTree;
+use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
+use crate::scopestack::ScopeStack;
+use reuselens_ir::{AccessKind, Program, RefId, ScopeId};
+use reuselens_trace::TraceSink;
+
+/// The frozen pre-optimization reuse-distance analyzer (see the module
+/// docs). Produces profiles bit-identical to
+/// [`ReuseAnalyzer`](crate::ReuseAnalyzer), two tree descents and one
+/// radix probe per access slower.
+#[derive(Debug)]
+pub struct ReferenceAnalyzer {
+    block_shift: u32,
+    clock: u64,
+    table: BlockTable,
+    tree: OrderStatTree,
+    stack: ScopeStack,
+    per_sink: Vec<SinkPatterns>,
+    cold: Vec<u64>,
+    ref_scopes: Vec<ScopeId>,
+    last_distance: Option<u64>,
+}
+
+impl ReferenceAnalyzer {
+    /// Creates a baseline analyzer at the given block size (must be a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two.
+    pub fn new(program: &Program, block_size: u64) -> ReferenceAnalyzer {
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let nrefs = program.references().len();
+        ReferenceAnalyzer {
+            block_shift: block_size.trailing_zeros(),
+            clock: 0,
+            table: BlockTable::new(),
+            tree: OrderStatTree::new(),
+            stack: ScopeStack::new(),
+            per_sink: (0..nrefs).map(|_| SinkPatterns::default()).collect(),
+            cold: vec![0; nrefs],
+            ref_scopes: program.references().iter().map(|r| r.scope()).collect(),
+            last_distance: None,
+        }
+    }
+
+    /// Distance of the most recent access (`None` for a cold miss).
+    pub fn last_distance(&self) -> Option<u64> {
+        self.last_distance
+    }
+
+    /// Consumes the analyzer and produces the measured profile.
+    pub fn finish(self) -> ReuseProfile {
+        let mut patterns = Vec::new();
+        for (sink_idx, sp) in self.per_sink.into_iter().enumerate() {
+            for (source_scope, carrier, histogram) in sp.entries {
+                patterns.push(ReusePattern {
+                    key: PatternKey {
+                        sink: RefId(sink_idx as u32),
+                        source_scope,
+                        carrier,
+                    },
+                    histogram,
+                });
+            }
+        }
+        patterns.sort_by_key(|p| p.key);
+        ReuseProfile {
+            block_size: 1 << self.block_shift,
+            patterns,
+            cold: self.cold,
+            total_accesses: self.clock,
+            distinct_blocks: self.table.distinct_blocks(),
+            sampling: None,
+        }
+    }
+}
+
+impl TraceSink for ReferenceAnalyzer {
+    fn access(&mut self, r: RefId, addr: u64, _size: u32, _kind: AccessKind) {
+        let block = addr >> self.block_shift;
+        self.clock += 1;
+        let now = self.clock;
+        match self.table.get(block) {
+            Some(prev) => {
+                // The unfused pair the optimized core replaced: one full
+                // descent to count, a second to re-key.
+                let distance = self.tree.count_greater(prev.time);
+                self.tree.reinsert(prev.time, now);
+                let carrier = self.stack.carrier(prev.time);
+                let source = self.ref_scopes[prev.ref_id as usize];
+                self.per_sink[r.index()].record(source, carrier, distance);
+                self.last_distance = Some(distance);
+            }
+            None => {
+                self.cold[r.index()] += 1;
+                self.tree.insert(now);
+                self.last_distance = None;
+            }
+        }
+        self.table.set(block, now, r.0);
+    }
+
+    fn enter(&mut self, scope: ScopeId) {
+        self.stack.enter(scope, self.clock);
+    }
+
+    fn exit(&mut self, scope: ScopeId) {
+        self.stack.exit(scope);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::ReuseAnalyzer;
+    use reuselens_ir::ProgramBuilder;
+    use reuselens_trace::Executor;
+
+    /// The optimized analyzer must reproduce the frozen baseline bit for
+    /// bit on a scope-rich mixed workload.
+    #[test]
+    fn optimized_analyzer_matches_reference_bit_for_bit() {
+        let n = 1024u64;
+        let mut p = ProgramBuilder::new("mixed");
+        let a = p.array("a", 8, &[n]);
+        let b = p.array("b", 8, &[n / 2]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 3, |r, _| {
+                r.for_("i", 0, (n - 1) as i64, |r, i| {
+                    r.load(a, vec![i.into()]);
+                });
+                r.for_("j", 0, (n / 2 - 1) as i64, |r, j| {
+                    r.store(b, vec![j.into()]);
+                    r.load(a, vec![j.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let mut reference = ReferenceAnalyzer::new(&prog, 64);
+        let mut optimized = ReuseAnalyzer::new(&prog, 64);
+        Executor::new(&prog).run(&mut reference).unwrap();
+        Executor::new(&prog).run(&mut optimized).unwrap();
+        assert_eq!(reference.finish(), optimized.finish());
+    }
+}

@@ -125,7 +125,7 @@ impl SamplingInfo {
 /// sampling fate must be a pure function of its number so the sampled set
 /// is consistent across the whole run and across rate drops.
 #[inline]
-fn spatial_hash(block: u64) -> u64 {
+pub(crate) fn spatial_hash(block: u64) -> u64 {
     let mut z = block.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -362,8 +362,9 @@ impl TraceSink for SampledAnalyzer {
                 let (prev_time, prev_ref) = (prev.time, prev.ref_id);
                 prev.time = now;
                 prev.ref_id = r.0;
-                let distance = self.tree.count_greater(prev_time);
-                self.tree.reinsert(prev_time, now);
+                // One fused descent: count pre-state keys above
+                // `prev_time` and re-key it to `now` (the new maximum).
+                let (_, distance) = self.tree.count_reinsert(prev_time, now);
                 let carrier = self.stack.carrier(prev_time);
                 let source = self.ref_scopes[prev_ref as usize];
                 self.per_sink[r.index()].record_n(
@@ -390,6 +391,14 @@ impl TraceSink for SampledAnalyzer {
                     self.drop_rate();
                 }
             }
+        }
+    }
+
+    fn access_soa(&mut self, batch: &reuselens_trace::SoaBatch) {
+        // Only the ref and address lanes matter; skip the bridge's
+        // record materialization entirely.
+        for (&r, &addr) in batch.refs.iter().zip(&batch.addrs) {
+            self.access(RefId(r), addr, 0, AccessKind::Load);
         }
     }
 

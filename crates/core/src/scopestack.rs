@@ -45,6 +45,16 @@ impl ScopeStack {
         }
     }
 
+    /// Builds a stack with the program root plus the given already-open
+    /// scopes and their entry clocks — how partitioned replay seeds each
+    /// worker with the scope context at its segment boundary.
+    pub(crate) fn with_open_scopes(scopes: &[(ScopeId, u64)]) -> ScopeStack {
+        let mut entries = Vec::with_capacity(scopes.len() + 1);
+        entries.push((ScopeId::ROOT, 0));
+        entries.extend_from_slice(scopes);
+        ScopeStack { entries }
+    }
+
     /// Pushes a scope entered when `clock` accesses had executed.
     pub fn enter(&mut self, scope: ScopeId, clock: u64) {
         debug_assert!(
@@ -86,6 +96,14 @@ impl ScopeStack {
     /// time `t_prev` (≥ 1): the topmost active scope entered strictly before
     /// that access.
     pub fn carrier(&self, t_prev: u64) -> ScopeId {
+        // Short reuses dominate real streams, and for them the innermost
+        // scope was entered before the previous access — answer those with
+        // one comparison before falling back to the binary search.
+        if let Some(&(scope, clock)) = self.entries.last() {
+            if clock < t_prev {
+                return scope;
+            }
+        }
         let idx = self.entries.partition_point(|&(_, clock)| clock < t_prev);
         // idx >= 1 because the root has entry clock 0 and t_prev >= 1.
         self.entries[idx - 1].0

@@ -102,6 +102,28 @@ pub fn run_locality_analysis_sampled(
     index_arrays: Vec<(ArrayId, Vec<i64>)>,
     sampling: SamplingConfig,
 ) -> Result<LocalityAnalysis, ExecError> {
+    let opts = AnalyzeOptions {
+        sampling,
+        ..AnalyzeOptions::default()
+    };
+    run_locality_analysis_opts(program, hierarchy, index_arrays, &opts)
+}
+
+/// [`run_locality_analysis`] with full [`AnalyzeOptions`] control —
+/// sampling *and* intra-grain partitioned replay (`replay_threads`),
+/// budgets, validation. This is what the CLI's `--sample-rate` and
+/// `--replay-threads` flags plumb into. Default options reproduce
+/// [`run_locality_analysis`] bit for bit.
+///
+/// # Errors
+///
+/// Propagates executor errors, like [`run_locality_analysis`].
+pub fn run_locality_analysis_opts(
+    program: &Program,
+    hierarchy: &MemoryHierarchy,
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+    opts: &AnalyzeOptions,
+) -> Result<LocalityAnalysis, ExecError> {
     // Capture once, then replay per granularity: this is the pipeline the
     // CLI reports on, so each stage runs under its own span (capture and
     // replay spans are recorded inside `capture_program`/`analyze_buffer`).
@@ -112,11 +134,7 @@ pub fn run_locality_analysis_sampled(
         .validate()
         .unwrap_or_else(|e| panic!("in-process capture failed validation: {e}"));
     let grains = hierarchy.required_granularities();
-    let opts = AnalyzeOptions {
-        sampling,
-        ..AnalyzeOptions::default()
-    };
-    let (profiles, _timings) = analyze_buffer_with(program, &buffer, &grains, &opts)
+    let (profiles, _timings) = analyze_buffer_with(program, &buffer, &grains, opts)
         .into_strict()
         .unwrap_or_else(|e| panic!("{e}"));
     let analysis = AnalysisResult { profiles, exec };

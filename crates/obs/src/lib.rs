@@ -87,6 +87,9 @@ pub enum Stage {
     Decode,
     /// One grain's replay through its analyzer.
     Replay,
+    /// One time-partition of a single grain's parallel replay (nested
+    /// inside that grain's [`Stage::Replay`] span).
+    Partition,
     /// Scoring one candidate hierarchy from measured profiles.
     Sweep,
     /// Building one attribution report from a scored analysis.
@@ -95,21 +98,23 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in dense-index order (used for metric storage).
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
+        Stage::Partition,
         Stage::Sweep,
         Stage::Report,
     ];
 
     /// Every stage in the order the pipeline executes them:
-    /// capture → decode → replay → sweep → report. Exporters print
-    /// stages in this order, independent of the enum's index layout.
-    pub const PIPELINE_ORDER: [Stage; 5] = [
+    /// capture → decode → replay → partition → sweep → report. Exporters
+    /// print stages in this order, independent of the enum's index layout.
+    pub const PIPELINE_ORDER: [Stage; 6] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
+        Stage::Partition,
         Stage::Sweep,
         Stage::Report,
     ];
@@ -120,6 +125,7 @@ impl Stage {
             Stage::Capture => "capture",
             Stage::Decode => "decode",
             Stage::Replay => "replay",
+            Stage::Partition => "partition",
             Stage::Sweep => "sweep",
             Stage::Report => "report",
         }
@@ -172,11 +178,16 @@ pub enum Counter {
     BlocksEvicted,
     /// Adaptive sampling rate halvings (tracked set hit its budget).
     SampleRateDrops,
+    /// Time-partition workers spawned by single-grain parallel replay.
+    PartitionsSpawned,
+    /// Cross-partition reuses resolved during the stitch pass of
+    /// single-grain parallel replay.
+    PartitionStitch,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::EventsCaptured,
         Counter::AccessesCaptured,
         Counter::BytesEncoded,
@@ -195,6 +206,8 @@ impl Counter {
         Counter::BlocksSampled,
         Counter::BlocksEvicted,
         Counter::SampleRateDrops,
+        Counter::PartitionsSpawned,
+        Counter::PartitionStitch,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -219,6 +232,8 @@ impl Counter {
             Counter::BlocksSampled => "blocks_sampled",
             Counter::BlocksEvicted => "blocks_evicted",
             Counter::SampleRateDrops => "sample_rate_drops",
+            Counter::PartitionsSpawned => "partitions_spawned",
+            Counter::PartitionStitch => "partition_stitch",
         }
     }
 
@@ -249,6 +264,12 @@ impl Counter {
             }
             Counter::BlocksEvicted => "Tracked blocks evicted by adaptive sampling rate drops.",
             Counter::SampleRateDrops => "Adaptive sampling rate halvings.",
+            Counter::PartitionsSpawned => {
+                "Time-partition workers spawned by single-grain parallel replay."
+            }
+            Counter::PartitionStitch => {
+                "Cross-partition reuses resolved during partitioned-replay stitching."
+            }
         }
     }
 

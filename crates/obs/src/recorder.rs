@@ -109,6 +109,7 @@ pub struct MetricsRecorder {
     gauges: [AtomicU64; Gauge::ALL.len()],
     span_counts: [AtomicU64; Stage::ALL.len()],
     span_nanos: [AtomicU64; Stage::ALL.len()],
+    span_max_nanos: [AtomicU64; Stage::ALL.len()],
     span_depths: [AtomicU64; Stage::ALL.len()],
     // Off the hot path: one push per grain per run, behind a mutex held
     // for the push only (poison-tolerant like the global slots).
@@ -123,6 +124,7 @@ impl MetricsRecorder {
             gauges: array::from_fn(|_| AtomicU64::new(0)),
             span_counts: array::from_fn(|_| AtomicU64::new(0)),
             span_nanos: array::from_fn(|_| AtomicU64::new(0)),
+            span_max_nanos: array::from_fn(|_| AtomicU64::new(0)),
             span_depths: array::from_fn(|_| AtomicU64::new(0)),
             grains: Mutex::new(Vec::new()),
         }
@@ -153,6 +155,9 @@ impl MetricsRecorder {
                 total: Duration::from_nanos(
                     self.span_nanos[s.index()].load(Ordering::Relaxed),
                 ),
+                max: Duration::from_nanos(
+                    self.span_max_nanos[s.index()].load(Ordering::Relaxed),
+                ),
                 max_depth: self.span_depths[s.index()].load(Ordering::Relaxed) as u32,
             }),
             grains,
@@ -181,6 +186,7 @@ impl Recorder for MetricsRecorder {
         // Saturating: 2^64 ns is ~584 years of span time.
         let nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
         self.span_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+        self.span_max_nanos[i].fetch_max(nanos, Ordering::Relaxed);
         self.span_depths[i].fetch_max(u64::from(depth), Ordering::Relaxed);
     }
 
@@ -204,6 +210,10 @@ pub struct SpanStats {
     pub count: u64,
     /// Total wall time across all of them.
     pub total: Duration,
+    /// Longest single span — with concurrent spans (partitioned replay
+    /// workers) `total` overstates wall time; `max` approximates the
+    /// critical path.
+    pub max: Duration,
     /// Deepest nesting level observed (1 = top level, 0 = never opened).
     pub max_depth: u32,
 }
@@ -256,6 +266,7 @@ impl MetricsSnapshot {
     pub fn zero_timings(&mut self) {
         for span in &mut self.spans {
             span.total = Duration::ZERO;
+            span.max = Duration::ZERO;
         }
         for grain in &mut self.grains {
             grain.wall = Duration::ZERO;
@@ -292,6 +303,7 @@ mod tests {
         let replay = snap.stage(Stage::Replay);
         assert_eq!(replay.count, 2);
         assert_eq!(replay.total, Duration::from_millis(6));
+        assert_eq!(replay.max, Duration::from_millis(4));
         assert_eq!(replay.max_depth, 2);
         assert_eq!(replay.mean(), Duration::from_millis(3));
         assert_eq!(snap.stage(Stage::Capture).count, 0);

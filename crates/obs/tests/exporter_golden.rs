@@ -11,9 +11,10 @@ use reuselens_obs::{Counter, Gauge, GrainProfile, GrainStatus, MetricsRecorder, 
 use std::time::Duration;
 
 /// Every counter at `(index + 1) * 10`, every gauge at `(index + 1) * 7`,
-/// a span pattern covering nesting (decode under capture), repetition
-/// (two replays), and absence (no report span), and a grain-profile set
-/// covering every status plus same-grain aggregation (grain 64 twice).
+/// a span pattern covering nesting (decode under capture, partition
+/// workers under replay), repetition (two replays, two partitions), and
+/// absence (no report span), and a grain-profile set covering every
+/// status plus same-grain aggregation (grain 64 twice).
 fn populated() -> MetricsRecorder {
     let r = MetricsRecorder::new();
     for (i, c) in Counter::ALL.into_iter().enumerate() {
@@ -26,6 +27,8 @@ fn populated() -> MetricsRecorder {
     r.record_span(Stage::Decode, Duration::from_millis(3), 2);
     r.record_span(Stage::Replay, Duration::from_millis(40), 1);
     r.record_span(Stage::Replay, Duration::from_millis(44), 1);
+    r.record_span(Stage::Partition, Duration::from_millis(20), 2);
+    r.record_span(Stage::Partition, Duration::from_millis(24), 2);
     r.record_span(Stage::Sweep, Duration::from_micros(80), 1);
     r.record_grain(&GrainProfile {
         block_size: 64,
@@ -119,6 +122,12 @@ reuselens_blocks_evicted_total 170
 # HELP reuselens_sample_rate_drops_total Adaptive sampling rate halvings.
 # TYPE reuselens_sample_rate_drops_total counter
 reuselens_sample_rate_drops_total 180
+# HELP reuselens_partitions_spawned_total Time-partition workers spawned by single-grain parallel replay.
+# TYPE reuselens_partitions_spawned_total counter
+reuselens_partitions_spawned_total 190
+# HELP reuselens_partition_stitch_total Cross-partition reuses resolved during partitioned-replay stitching.
+# TYPE reuselens_partition_stitch_total counter
+reuselens_partition_stitch_total 200
 # HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
 # TYPE reuselens_budget_events gauge
 reuselens_budget_events 7
@@ -136,6 +145,7 @@ reuselens_sampling_inv_rate 28
 reuselens_stage_spans_total{stage="capture"} 1
 reuselens_stage_spans_total{stage="decode"} 1
 reuselens_stage_spans_total{stage="replay"} 2
+reuselens_stage_spans_total{stage="partition"} 2
 reuselens_stage_spans_total{stage="sweep"} 1
 reuselens_stage_spans_total{stage="report"} 0
 # HELP reuselens_stage_seconds_total Wall-clock seconds spent per pipeline stage.
@@ -143,6 +153,7 @@ reuselens_stage_spans_total{stage="report"} 0
 reuselens_stage_seconds_total{stage="capture"} 0.000000000
 reuselens_stage_seconds_total{stage="decode"} 0.000000000
 reuselens_stage_seconds_total{stage="replay"} 0.000000000
+reuselens_stage_seconds_total{stage="partition"} 0.000000000
 reuselens_stage_seconds_total{stage="sweep"} 0.000000000
 reuselens_stage_seconds_total{stage="report"} 0.000000000
 # HELP reuselens_grain_replays_total Replays recorded per grain and status.
@@ -170,6 +181,7 @@ stage                     spans        total         mean
   capture                     1         0 ns         0 ns
     decode                    1         0 ns         0 ns
   replay                      2         0 ns         0 ns
+    partition                 2         0 ns         0 ns
   sweep                       1         0 ns         0 ns
 grain profiles
      grain     status         wall       events     events/s     blocks       tree   sample
@@ -195,6 +207,8 @@ counters
   blocks_sampled                          160
   blocks_evicted                          170
   sample_rate_drops                       180
+  partitions_spawned                      190
+  partition_stitch                        200
 gauges
   budget_events                             7
   budget_distinct_blocks                   14

@@ -28,13 +28,21 @@
 //! figure.
 
 use crate::decode::{try_varint, Column, DecodeError};
-use crate::event::{AccessRecord, Event, TraceSink};
+use crate::event::{AccessRecord, Event, SoaBatch, TraceSink};
 use reuselens_ir::{AccessKind, RefId, ScopeId};
 use reuselens_obs as obs;
 
-/// Events handed to [`TraceSink::access_batch`] per virtual call during
+/// Events handed to [`TraceSink::access_soa`] per virtual call during
 /// replay. Large enough to amortize dispatch, small enough to stay in L1.
 const BATCH: usize = 256;
+
+/// Capture-side checkpoint spacing in events. Each checkpoint snapshots
+/// the decoder state at an event boundary so
+/// [`TraceBuffer::segment_states`] can seek near an arbitrary event
+/// without decoding the whole prefix; 64 Ki events keeps the snapshot
+/// overhead (one small struct plus the open-scope stack) far below 0.1%
+/// of the encoded stream.
+const CHECKPOINT_EVERY: u64 = 65_536;
 
 const OP_LOAD: u8 = 0;
 const OP_STORE: u8 = 1;
@@ -62,8 +70,15 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 
 #[inline]
 fn get_varint(bytes: &[u8], pos: &mut usize) -> u64 {
-    let mut v = 0u64;
-    let mut shift = 0;
+    // One-byte fast path: almost every delta on a real trace (unit-stride
+    // addresses, adjacent reference ids, small sizes) fits in 7 bits.
+    let b = bytes[*pos];
+    *pos += 1;
+    if b < 0x80 {
+        return u64::from(b);
+    }
+    let mut v = u64::from(b & 0x7f);
+    let mut shift = 7;
     loop {
         let b = bytes[*pos];
         *pos += 1;
@@ -165,6 +180,51 @@ pub struct TraceBuffer {
     // Encoder state (deltas are relative to the previous access).
     pub(crate) last_addr: u64,
     pub(crate) last_ref: u32,
+    // Capture-side seek index: decoder state every CHECKPOINT_EVERY
+    // events, plus the live open-scope stack the snapshots copy.
+    pub(crate) checkpoints: Vec<Checkpoint>,
+    pub(crate) open_scopes: Vec<(u32, u64)>,
+}
+
+/// One capture-side snapshot of the decoder state at an event boundary
+/// (taken *before* the event at `event` was encoded).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Checkpoint {
+    pub(crate) event: u64,
+    pub(crate) accesses: u64,
+    pub(crate) addr_pos: usize,
+    pub(crate) ref_pos: usize,
+    pub(crate) size_pos: usize,
+    pub(crate) scope_pos: usize,
+    pub(crate) last_addr: u64,
+    pub(crate) last_ref: u32,
+    pub(crate) open_scopes: Vec<(u32, u64)>,
+}
+
+/// The full decoder state at one event boundary of a [`TraceBuffer`]:
+/// everything needed to start decoding mid-stream, plus the dynamic
+/// context (access clock and open scopes) a mid-stream consumer needs to
+/// interpret what it sees. Produced by
+/// [`TraceBuffer::segment_states`], consumed by
+/// [`TraceBuffer::replay_segment`] — the seek API behind time-partitioned
+/// parallel replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentState {
+    /// Index of the first event of the segment.
+    pub event: u64,
+    /// Memory accesses executed before the segment — the global access
+    /// clock at the segment's start.
+    pub accesses: u64,
+    /// Scopes open at the segment's start, outermost first (the program
+    /// root is implied, not listed), each with the global access clock at
+    /// its entry.
+    pub scopes: Vec<(ScopeId, u64)>,
+    pub(crate) addr_pos: usize,
+    pub(crate) ref_pos: usize,
+    pub(crate) size_pos: usize,
+    pub(crate) scope_pos: usize,
+    pub(crate) last_addr: u64,
+    pub(crate) last_ref: u32,
 }
 
 impl TraceBuffer {
@@ -210,6 +270,19 @@ impl TraceBuffer {
 
     #[inline]
     fn push_op(&mut self, op: u8) {
+        if self.events.is_multiple_of(CHECKPOINT_EVERY) && self.events > 0 {
+            self.checkpoints.push(Checkpoint {
+                event: self.events,
+                accesses: self.accesses,
+                addr_pos: self.addr_bytes.len(),
+                ref_pos: self.ref_bytes.len(),
+                size_pos: self.size_bytes.len(),
+                scope_pos: self.scope_bytes.len(),
+                last_addr: self.last_addr,
+                last_ref: self.last_ref,
+                open_scopes: self.open_scopes.clone(),
+            });
+        }
         let slot = (self.events % 4) as u32 * 2;
         match self.ops.last_mut() {
             Some(last) if slot != 0 => *last |= op << slot,
@@ -218,15 +291,58 @@ impl TraceBuffer {
         self.events += 1;
     }
 
-    /// Replays the captured stream into `sink`, batching consecutive
-    /// accesses through [`TraceSink::access_batch`]. The buffer is
-    /// unchanged and can be replayed concurrently from many threads.
+    /// Replays the captured stream into `sink`, decoding straight into
+    /// struct-of-arrays lanes and handing each run of consecutive accesses
+    /// to [`TraceSink::access_soa`] (whose default bridges to
+    /// [`TraceSink::access_batch`]). The buffer is unchanged and can be
+    /// replayed concurrently from many threads.
     pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) {
-        let mut batch: Vec<AccessRecord> = Vec::with_capacity(BATCH);
-        let mut addr = 0u64;
-        let mut r = 0u32;
-        let (mut ap, mut rp, mut sp, mut cp) = (0usize, 0usize, 0usize, 0usize);
-        for i in 0..self.events {
+        self.decode_range(&SegmentState::default(), self.events, sink);
+        obs::add(obs::Counter::EventsDecoded, self.events);
+        obs::add(obs::Counter::AccessesDecoded, self.accesses);
+    }
+
+    /// Replays the half-open event range `[from.event, to_event)` into
+    /// `sink`, starting from a [`SegmentState`] produced by
+    /// [`segment_states`](Self::segment_states) on this same buffer.
+    /// `to_event` is clamped to the captured event count. Like
+    /// [`replay`](Self::replay), this is the unchecked fast path: it
+    /// trusts the buffer (and the state) to be well-formed.
+    pub fn replay_segment<S: TraceSink + ?Sized>(
+        &self,
+        from: &SegmentState,
+        to_event: u64,
+        sink: &mut S,
+    ) {
+        let to_event = to_event.min(self.events);
+        if to_event <= from.event {
+            return;
+        }
+        let accesses = self.decode_range(from, to_event, sink);
+        obs::add(obs::Counter::EventsDecoded, to_event - from.event);
+        obs::add(obs::Counter::AccessesDecoded, accesses);
+    }
+
+    /// The shared unchecked decode loop behind [`replay`](Self::replay)
+    /// and [`replay_segment`](Self::replay_segment). Returns the number of
+    /// access events decoded.
+    fn decode_range<S: TraceSink + ?Sized>(
+        &self,
+        from: &SegmentState,
+        to_event: u64,
+        sink: &mut S,
+    ) -> u64 {
+        let mut batch = SoaBatch::with_capacity(BATCH);
+        let mut addr = from.last_addr;
+        let mut r = from.last_ref;
+        let (mut ap, mut rp, mut sp, mut cp) = (
+            from.addr_pos,
+            from.ref_pos,
+            from.size_pos,
+            from.scope_pos,
+        );
+        let mut accesses = 0u64;
+        for i in from.event..to_event {
             let op = (self.ops[(i / 4) as usize] >> ((i % 4) * 2)) & 0b11;
             match op {
                 OP_LOAD | OP_STORE => {
@@ -238,20 +354,16 @@ impl TraceBuffer {
                     } else {
                         AccessKind::Store
                     };
-                    batch.push(AccessRecord {
-                        r: RefId(r),
-                        addr,
-                        size,
-                        kind,
-                    });
+                    batch.push(r, addr, size, kind);
+                    accesses += 1;
                     if batch.len() == BATCH {
-                        sink.access_batch(&batch);
+                        sink.access_soa(&batch);
                         batch.clear();
                     }
                 }
                 _ => {
                     if !batch.is_empty() {
-                        sink.access_batch(&batch);
+                        sink.access_soa(&batch);
                         batch.clear();
                     }
                     let scope = ScopeId(get_varint(&self.scope_bytes, &mut cp) as u32);
@@ -264,10 +376,98 @@ impl TraceBuffer {
             }
         }
         if !batch.is_empty() {
-            sink.access_batch(&batch);
+            sink.access_soa(&batch);
         }
-        obs::add(obs::Counter::EventsDecoded, self.events);
-        obs::add(obs::Counter::AccessesDecoded, self.accesses);
+        accesses
+    }
+
+    /// Splits the captured stream into `parts` contiguous time segments of
+    /// (nearly) equal event count and returns the decoder state at the
+    /// start of each — segment `k` covers events
+    /// `[states[k].event, states[k + 1].event)` (the last segment ends at
+    /// [`events`](Self::events)). One forward scan computes every state,
+    /// fast-forwarding through the capture-side checkpoints where they are
+    /// self-consistent and falling back to pure decoding where they are
+    /// not (e.g. a buffer forged or corrupted after capture), so the
+    /// result is a function of the encoded columns alone.
+    pub fn segment_states(&self, parts: usize) -> Vec<SegmentState> {
+        let parts = parts.max(1);
+        let mut out = Vec::with_capacity(parts);
+        let mut cur = SegmentState::default();
+        let mut next_ckpt = 0usize;
+        for k in 0..parts as u64 {
+            let target = self.events * k / parts as u64;
+            while next_ckpt < self.checkpoints.len() {
+                let c = &self.checkpoints[next_ckpt];
+                if c.event > target {
+                    break;
+                }
+                next_ckpt += 1;
+                if c.event >= cur.event && self.checkpoint_sane(c) {
+                    cur = SegmentState {
+                        event: c.event,
+                        accesses: c.accesses,
+                        scopes: c
+                            .open_scopes
+                            .iter()
+                            .map(|&(s, t)| (ScopeId(s), t))
+                            .collect(),
+                        addr_pos: c.addr_pos,
+                        ref_pos: c.ref_pos,
+                        size_pos: c.size_pos,
+                        scope_pos: c.scope_pos,
+                        last_addr: c.last_addr,
+                        last_ref: c.last_ref,
+                    };
+                }
+            }
+            self.advance_state(&mut cur, target);
+            out.push(cur.clone());
+        }
+        out
+    }
+
+    /// Decodes forward from `cur` until it sits at event `target`,
+    /// updating the decoder state and the dynamic scope context in place.
+    fn advance_state(&self, cur: &mut SegmentState, target: u64) {
+        while cur.event < target {
+            let i = cur.event;
+            let op = (self.ops[(i / 4) as usize] >> ((i % 4) * 2)) & 0b11;
+            match op {
+                OP_LOAD | OP_STORE => {
+                    cur.last_addr = cur.last_addr.wrapping_add(
+                        unzigzag(get_varint(&self.addr_bytes, &mut cur.addr_pos)) as u64,
+                    );
+                    cur.last_ref = (i64::from(cur.last_ref)
+                        + unzigzag(get_varint(&self.ref_bytes, &mut cur.ref_pos)))
+                        as u32;
+                    let _ = get_varint(&self.size_bytes, &mut cur.size_pos);
+                    cur.accesses += 1;
+                }
+                _ => {
+                    let scope = get_varint(&self.scope_bytes, &mut cur.scope_pos) as u32;
+                    if op == OP_ENTER {
+                        cur.scopes.push((ScopeId(scope), cur.accesses));
+                    } else {
+                        cur.scopes.pop();
+                    }
+                }
+            }
+            cur.event += 1;
+        }
+    }
+
+    /// A checkpoint is trusted only when every recorded position is in
+    /// bounds for the columns this buffer actually holds; anything else
+    /// (a buffer reassembled from raw columns, a corrupted capture) falls
+    /// back to the pure decode scan.
+    fn checkpoint_sane(&self, c: &Checkpoint) -> bool {
+        c.event <= self.events
+            && c.accesses <= c.event
+            && c.addr_pos <= self.addr_bytes.len()
+            && c.ref_pos <= self.ref_bytes.len()
+            && c.size_pos <= self.size_bytes.len()
+            && c.scope_pos <= self.scope_bytes.len()
     }
 
     /// Replays the captured stream into `sink` through the **validating**
@@ -398,12 +598,14 @@ impl TraceSink for TraceBuffer {
         self.push_op(OP_ENTER);
         self.scope_events += 1;
         put_varint(&mut self.scope_bytes, u64::from(scope.0));
+        self.open_scopes.push((scope.0, self.accesses));
     }
 
     fn exit(&mut self, scope: ScopeId) {
         self.push_op(OP_EXIT);
         self.scope_events += 1;
         put_varint(&mut self.scope_bytes, u64::from(scope.0));
+        self.open_scopes.pop();
     }
 }
 
@@ -764,6 +966,107 @@ mod tests {
         buf.replay(&mut c);
         assert_eq!(c.batches, vec![BATCH, 300 - BATCH, 10]);
         assert_eq!(c.scopes, 4);
+    }
+
+    /// A deterministic workload with nested scopes and varied strides,
+    /// sized so several replay batches and (for `n >= CHECKPOINT_EVERY`)
+    /// several checkpoints are produced.
+    fn scoped_workload(n: u64) -> TraceBuffer {
+        let mut buf = TraceBuffer::new();
+        buf.enter(ScopeId(1));
+        for i in 0..n {
+            if i % 97 == 0 {
+                buf.enter(ScopeId(2 + (i % 3) as u32));
+            }
+            let kind = if i % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+            buf.access(
+                RefId((i % 5) as u32),
+                0x1_0000 + (i * 24) % 4096 + (i / 11) * 64,
+                8,
+                kind,
+            );
+            if i % 97 == 96 {
+                buf.exit(ScopeId(2 + ((i - 96) % 3) as u32));
+            }
+        }
+        buf.exit(ScopeId(1));
+        buf
+    }
+
+    #[test]
+    fn segment_replay_concatenation_equals_full_replay() {
+        let buf = scoped_workload(5_000);
+        let mut full = VecSink::new();
+        buf.replay(&mut full);
+        for parts in [1usize, 2, 3, 8] {
+            let states = buf.segment_states(parts);
+            assert_eq!(states.len(), parts);
+            assert_eq!(states[0], SegmentState::default());
+            let mut stitched = VecSink::new();
+            for (k, from) in states.iter().enumerate() {
+                let to = states.get(k + 1).map_or(buf.events(), |s| s.event);
+                buf.replay_segment(from, to, &mut stitched);
+            }
+            assert_eq!(stitched.events, full.events, "parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn segment_states_report_scope_context_and_clocks() {
+        let buf = scoped_workload(1_000);
+        let states = buf.segment_states(4);
+        // Every boundary sits inside ScopeId(1), entered at access clock 0.
+        for s in &states[1..] {
+            assert!(!s.scopes.is_empty());
+            assert_eq!(s.scopes[0], (ScopeId(1), 0));
+            assert!(s.accesses <= s.event);
+            assert!(s.event <= buf.events());
+        }
+        // Boundaries are (nearly) evenly spaced and monotone.
+        for w in states.windows(2) {
+            assert!(w[0].event < w[1].event);
+        }
+    }
+
+    #[test]
+    fn checkpoints_match_pure_scan_states() {
+        let buf = scoped_workload(2 * CHECKPOINT_EVERY + 1_234);
+        assert!(
+            buf.checkpoints.len() >= 2,
+            "workload must cross multiple checkpoint intervals"
+        );
+        let mut unassisted = buf.clone();
+        unassisted.checkpoints.clear();
+        for parts in [2usize, 3, 8] {
+            assert_eq!(
+                buf.segment_states(parts),
+                unassisted.segment_states(parts),
+                "checkpoint fast-forward must be invisible (parts = {parts})"
+            );
+        }
+        // And the stitched replay still equals the full replay.
+        let mut full = VecSink::new();
+        buf.replay(&mut full);
+        let states = buf.segment_states(8);
+        let mut stitched = VecSink::new();
+        for (k, from) in states.iter().enumerate() {
+            let to = states.get(k + 1).map_or(buf.events(), |s| s.event);
+            buf.replay_segment(from, to, &mut stitched);
+        }
+        assert_eq!(stitched.events.len(), full.events.len());
+        assert_eq!(stitched.events, full.events);
+    }
+
+    #[test]
+    fn forged_buffer_segment_states_fall_back_to_pure_scan() {
+        use crate::fault::RawColumns;
+        let buf = scoped_workload(3_000);
+        let forged = RawColumns::of(&buf).build();
+        assert!(forged.checkpoints.is_empty());
+        let states = forged.segment_states(3);
+        let mut honest = buf.clone();
+        honest.checkpoints.clear();
+        assert_eq!(states, honest.segment_states(3));
     }
 
     #[test]

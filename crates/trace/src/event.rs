@@ -41,6 +41,82 @@ pub struct AccessRecord {
     pub kind: AccessKind,
 }
 
+/// A run of consecutive decoded accesses in struct-of-arrays layout: one
+/// contiguous lane per field instead of an array of [`AccessRecord`]s.
+///
+/// The [`TraceBuffer`](crate::TraceBuffer) encoder is columnar, so batch
+/// decoding fills these lanes directly — no per-event struct is ever
+/// materialized — and analyzers that override
+/// [`TraceSink::access_soa`] can stream each lane independently (e.g.
+/// shifting the whole address lane down to block numbers in one
+/// vectorizable loop). All four lanes always have equal length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SoaBatch {
+    /// Static reference ids, one per access.
+    pub refs: Vec<u32>,
+    /// Virtual byte addresses, one per access.
+    pub addrs: Vec<u64>,
+    /// Access widths in bytes, one per access.
+    pub sizes: Vec<u32>,
+    /// Load/store kinds, one per access.
+    pub kinds: Vec<AccessKind>,
+}
+
+impl SoaBatch {
+    /// Creates an empty batch with capacity for `n` accesses per lane.
+    pub fn with_capacity(n: usize) -> SoaBatch {
+        SoaBatch {
+            refs: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
+            sizes: Vec::with_capacity(n),
+            kinds: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of accesses in the batch.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the batch holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Empties every lane, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.refs.clear();
+        self.addrs.clear();
+        self.sizes.clear();
+        self.kinds.clear();
+    }
+
+    /// Appends one access to every lane.
+    #[inline]
+    pub fn push(&mut self, r: u32, addr: u64, size: u32, kind: AccessKind) {
+        self.refs.push(r);
+        self.addrs.push(addr);
+        self.sizes.push(size);
+        self.kinds.push(kind);
+    }
+
+    /// The access at index `i` as a record (convenience for tests and
+    /// non-hot-path consumers).
+    pub fn record(&self, i: usize) -> AccessRecord {
+        AccessRecord {
+            r: RefId(self.refs[i]),
+            addr: self.addrs[i],
+            size: self.sizes[i],
+            kind: self.kinds[i],
+        }
+    }
+}
+
+/// Chunk size the default [`TraceSink::access_soa`] bridge converts at a
+/// time; matches the replay batch size so bridged sinks observe the same
+/// `access_batch` call pattern as before the SoA decode path existed.
+const SOA_BRIDGE_CHUNK: usize = 256;
+
 /// Receives instrumentation events during execution.
 ///
 /// Implementations are the moral equivalent of the paper's event-handler
@@ -61,6 +137,31 @@ pub trait TraceSink {
     fn access_batch(&mut self, batch: &[AccessRecord]) {
         for a in batch {
             self.access(a.r, a.addr, a.size, a.kind);
+        }
+    }
+    /// Called with a run of consecutive accesses in struct-of-arrays
+    /// layout. Replay decodes straight into [`SoaBatch`] lanes; analyzers
+    /// that can consume lanes override this and skip the per-record
+    /// conversion entirely. The default bridges into a fixed stack array
+    /// and forwards to [`access_batch`](Self::access_batch) — zero heap
+    /// allocation, and sinks that only override `access_batch` observe the
+    /// exact call pattern the array-of-structs replay produced.
+    fn access_soa(&mut self, batch: &SoaBatch) {
+        let mut tmp = [AccessRecord {
+            r: RefId(0),
+            addr: 0,
+            size: 0,
+            kind: AccessKind::Load,
+        }; SOA_BRIDGE_CHUNK];
+        let n = batch.len();
+        let mut start = 0;
+        while start < n {
+            let m = (n - start).min(SOA_BRIDGE_CHUNK);
+            for (i, slot) in tmp[..m].iter_mut().enumerate() {
+                *slot = batch.record(start + i);
+            }
+            self.access_batch(&tmp[..m]);
+            start += m;
         }
     }
 }
@@ -149,6 +250,10 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
         self.a.access_batch(batch);
         self.b.access_batch(batch);
     }
+    fn access_soa(&mut self, batch: &SoaBatch) {
+        self.a.access_soa(batch);
+        self.b.access_soa(batch);
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
@@ -163,6 +268,9 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
     fn access_batch(&mut self, batch: &[AccessRecord]) {
         (**self).access_batch(batch);
+    }
+    fn access_soa(&mut self, batch: &SoaBatch) {
+        (**self).access_soa(batch);
     }
 }
 
@@ -198,6 +306,40 @@ mod tests {
         tee.access(RefId(1), 0x40, 4, AccessKind::Store);
         assert_eq!(tee.a.events, tee.b.events);
         assert_eq!(tee.a.events.len(), 1);
+    }
+
+    #[test]
+    fn soa_default_bridges_in_replay_sized_chunks() {
+        /// Records the `access_batch` call sizes the default SoA bridge makes.
+        #[derive(Default)]
+        struct Counting {
+            batches: Vec<usize>,
+            records: Vec<AccessRecord>,
+        }
+        impl TraceSink for Counting {
+            fn access(&mut self, _: RefId, _: u64, _: u32, _: AccessKind) {
+                unreachable!("bridge must go through access_batch");
+            }
+            fn access_batch(&mut self, batch: &[AccessRecord]) {
+                self.batches.push(batch.len());
+                self.records.extend_from_slice(batch);
+            }
+            fn enter(&mut self, _: ScopeId) {}
+            fn exit(&mut self, _: ScopeId) {}
+        }
+
+        let mut soa = SoaBatch::with_capacity(600);
+        for i in 0..600u64 {
+            let kind = if i % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+            soa.push((i % 7) as u32, 0x1000 + i * 16, 8, kind);
+        }
+        let mut sink = Counting::default();
+        sink.access_soa(&soa);
+        assert_eq!(sink.batches, vec![256, 256, 88]);
+        assert_eq!(sink.records.len(), 600);
+        for (i, rec) in sink.records.iter().enumerate() {
+            assert_eq!(*rec, soa.record(i), "record {i} must survive the bridge");
+        }
     }
 
     #[test]

@@ -79,6 +79,8 @@ impl RawColumns {
             scope_bytes: self.scopes,
             last_addr: 0,
             last_ref: 0,
+            checkpoints: Vec::new(),
+            open_scopes: Vec::new(),
         }
     }
 

@@ -23,6 +23,7 @@ cargo test -q --test fault_tolerance
 # timeline/GrainProfile/counter reconciliation), and the exporter
 # golden snapshots.
 cargo test -q -p reuselens-core --test property_oracle
+cargo test -q -p reuselens-core --test partition_identity
 cargo test -q -p reuselens-cache --test model_vs_sim
 cargo test -q --test obs_identity
 cargo test -q -p reuselens-obs --test exporter_golden

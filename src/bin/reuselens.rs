@@ -28,14 +28,15 @@ use reuselens::advisor::{describe, detect_time_loops, Advisor};
 use reuselens::cache::MemoryHierarchy;
 use reuselens::cache::{miss_curve, predict_level};
 use reuselens::core::{
-    measure_spatial, read_profiles, write_profiles, ContextAnalyzer, SamplingConfig, SavedProfiles,
+    measure_spatial, read_profiles, write_profiles, AnalyzeOptions, ContextAnalyzer,
+    ReplayThreads, SamplingConfig, SavedProfiles,
 };
 use reuselens::model::ProfileModel;
 use reuselens::ir::Program;
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::metrics::{
     format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
-    format_spatial, format_summary, run_locality_analysis_sampled, to_xml, LocalityAnalysis,
+    format_spatial, format_summary, run_locality_analysis_opts, to_xml, LocalityAnalysis,
 };
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig, GtcTransforms};
 use reuselens::workloads::kernels;
@@ -81,6 +82,11 @@ COMMON OPTIONS:
                     (0, 1] (e.g. 0.01), or 'auto:<budget>' to adapt the
                     rate so at most <budget> blocks are tracked. Reported
                     counts become scaled estimates; omit for exact output
+    --replay-threads <N|auto>  split each grain's replay across N
+                    time-partition workers ('auto' = one per core) and
+                    stitch the results — bit-identical to serial replay,
+                    faster on large traces. Ignored for adaptive
+                    sampling, which is inherently sequential
     --metrics <PATH> write pipeline metrics (Prometheus text) to PATH
                     ('-' for stdout) and print a per-stage timing
                     footer to stderr
@@ -203,6 +209,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let report = flags.value("--report").unwrap_or("summary");
     let level = flags.value("--level").unwrap_or("L2");
     let sampling = parse_sampling(&flags)?;
+    let replay_threads = parse_replay_threads(&flags)?;
 
     let w = build_workload(workload.as_str(), &flags)?;
     eprintln!(
@@ -257,7 +264,12 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let la = run_locality_analysis_sampled(&w.program, &hierarchy, w.index_arrays.clone(), sampling)
+    let opts = AnalyzeOptions {
+        sampling,
+        replay_threads,
+        ..AnalyzeOptions::default()
+    };
+    let la = run_locality_analysis_opts(&w.program, &hierarchy, w.index_arrays.clone(), &opts)
         .map_err(|e| e.to_string())?;
 
     if let Some(path) = flags.value("--save-profile") {
@@ -316,6 +328,24 @@ fn parse_sampling(flags: &Flags<'_>) -> Result<SamplingConfig, String> {
     Ok(SamplingConfig::fixed(rate))
 }
 
+/// Parses `--replay-threads 4` / `--replay-threads auto`; no flag means
+/// the classic serial replay.
+fn parse_replay_threads(flags: &Flags<'_>) -> Result<ReplayThreads, String> {
+    match flags.value("--replay-threads") {
+        None => Ok(ReplayThreads::Serial),
+        Some("auto") => Ok(ReplayThreads::Auto),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("invalid --replay-threads '{v}'"))?;
+            if n == 0 {
+                return Err("--replay-threads must be at least 1".into());
+            }
+            Ok(ReplayThreads::Fixed(n))
+        }
+    }
+}
+
 /// The natural problem-size tag per workload (overridable with `--size`).
 fn default_size(workload: &str, flags: &Flags<'_>) -> Result<f64, String> {
     Ok(match workload {
@@ -354,7 +384,8 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
         if a.starts_with("--") {
             skip = matches!(
                 a.as_str(),
-                "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline" | "--sample-rate"
+                "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline"
+                    | "--sample-rate" | "--replay-threads"
             );
             continue;
         }
