@@ -38,13 +38,14 @@
 //! number either way.
 
 use reuselens::core::{
-    analyze_buffer, analyze_buffer_with, capture_program, AnalyzeOptions, ReferenceAnalyzer,
-    ReplayThreads, SamplingConfig,
+    analyze_buffer, analyze_buffer_checkpointed, analyze_buffer_with, capture_program,
+    AnalyzeOptions, CheckpointOptions, ReferenceAnalyzer, ReplayThreads, SamplingConfig,
 };
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::workloads::{gtc, sweep3d, BuiltWorkload};
 use reuselens_bench::report::{
-    diff, BenchReport, BenchRun, StageSeconds, SINGLE_GRAIN_SPEEDUP_FLOOR,
+    diff, BenchReport, BenchRun, StageSeconds, CHECKPOINT_OVERHEAD_CEILING,
+    SINGLE_GRAIN_SPEEDUP_FLOOR,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -193,6 +194,37 @@ fn best_sampled_replay_wall(
         })
         .min()
         .unwrap_or(Duration::ZERO)
+}
+
+/// Best-of-`reps` wall time of the same single-grain serial replay
+/// through the crash-safe checkpointed engine, snapshotting four times
+/// over the stream — the `checkpoint_overhead_ratio` numerator.
+fn best_checkpointed_replay_wall(
+    program: &reuselens::ir::Program,
+    buffer: &reuselens::trace::TraceBuffer,
+    grain: u64,
+    reps: usize,
+) -> Duration {
+    let dir = std::env::temp_dir().join(format!("reuselens-ckpt-bench-{}", std::process::id()));
+    let ckpt = CheckpointOptions {
+        dir: dir.clone(),
+        every: (buffer.events() / 4).max(1),
+        resume: false,
+    };
+    let opts = AnalyzeOptions::default();
+    let wall = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let partial = analyze_buffer_checkpointed(program, buffer, &[grain], &opts, &ckpt)
+                .expect("checkpointed replay");
+            assert!(partial.is_complete(), "checkpointed replay failed");
+            std::hint::black_box(partial);
+            t.elapsed()
+        })
+        .min()
+        .unwrap_or(Duration::ZERO);
+    std::fs::remove_dir_all(&dir).ok();
+    wall
 }
 
 /// The per-stage wall breakdown of one run's snapshot: `sum` over every
@@ -356,6 +388,22 @@ fn main() -> ExitCode {
             );
             report.single_grain_speedup_ratio = Some(ratio);
         }
+
+        // Checkpoint overhead on the first (Sweep3D) workload: the same
+        // single-grain serial replay plain and through the crash-safe
+        // checkpointed engine snapshotting four times over the stream.
+        if report.checkpoint_overhead_ratio.is_none() {
+            let grain = GRAIN_LADDER[0];
+            let plain_opts = AnalyzeOptions::default();
+            let plain = best_replay_wall_with(&w.program, &buffer, &[grain], reps, &plain_opts);
+            let checkpointed = best_checkpointed_replay_wall(&w.program, &buffer, grain, reps);
+            let ratio = checkpointed.as_secs_f64() / plain.as_secs_f64().max(f64::MIN_POSITIVE);
+            eprintln!(
+                "checkpoint overhead ratio: {ratio:.3}x \
+                 (target <= {CHECKPOINT_OVERHEAD_CEILING}x on full runs)"
+            );
+            report.checkpoint_overhead_ratio = Some(ratio);
+        }
     }
 
     report.counters = counter_totals
@@ -373,15 +421,25 @@ fn main() -> ExitCode {
         report.throughput()
     );
 
-    // Absolute acceptance bar, full runs only: smoke workloads are too
-    // small for the serial-core gains to dominate fixed costs, so smoke
-    // records the ratio without gating on it.
+    // Absolute acceptance bars, full runs only: smoke workloads are too
+    // small for the serial-core gains to dominate fixed costs (and for
+    // per-snapshot costs to amortize), so smoke records the ratios
+    // without gating on them.
     if !opts.smoke {
         if let Some(ratio) = report.single_grain_speedup_ratio {
             if ratio < SINGLE_GRAIN_SPEEDUP_FLOOR {
                 eprintln!(
                     "single-grain speedup {ratio:.2}x is below the \
                      {SINGLE_GRAIN_SPEEDUP_FLOOR}x floor"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(ratio) = report.checkpoint_overhead_ratio {
+            if ratio > CHECKPOINT_OVERHEAD_CEILING {
+                eprintln!(
+                    "checkpoint overhead {ratio:.3}x is above the \
+                     {CHECKPOINT_OVERHEAD_CEILING}x ceiling"
                 );
                 return ExitCode::FAILURE;
             }

@@ -7,6 +7,8 @@
 //! every crossover the figures show. Set `REPRO_SCALE=1` and grow the
 //! sizes for a full-scale run.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod harness;
 pub mod json;
 pub mod report;

@@ -42,6 +42,12 @@
 //!   [`SINGLE_GRAIN_SPEEDUP_FLOOR`]); `null` until measured. The
 //!   bench-runner gate fails full (non-smoke) runs below the floor, and
 //!   [`diff`] flags a >15% drop against a measured baseline ratio.
+//! * `checkpoint_overhead_ratio` is checkpointed/plain serial replay wall
+//!   time on the single-grain Sweep3D workload, snapshotting four times
+//!   over the run (target ≤ [`CHECKPOINT_OVERHEAD_CEILING`]); `null`
+//!   until measured. The bench-runner gate fails full (non-smoke) runs
+//!   above the ceiling; the ratio is an absolute bar, not diffed against
+//!   the baseline (like `obs_overhead_ratio`).
 //! * `runs[]` each hold one workload × grain-count measurement;
 //!   `stage_seconds` is the pipeline stage wall-time breakdown from the
 //!   run's `MetricsRecorder` snapshot and `events` counts events replayed
@@ -75,6 +81,11 @@ pub const REGRESSION_THRESHOLD: f64 = 0.15;
 /// the optimized single-grain replay (best ladder rung) must be at least
 /// this many times faster than the frozen pre-optimization baseline.
 pub const SINGLE_GRAIN_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Acceptance ceiling for `checkpoint_overhead_ratio` on full bench runs:
+/// replaying with periodic snapshots must cost at most 10% over a plain
+/// serial replay of the same grain.
+pub const CHECKPOINT_OVERHEAD_CEILING: f64 = 1.10;
 
 /// Wall seconds of one pipeline stage across a run, both ways of adding
 /// spans up (see the module docs on the `stage_seconds` schema change).
@@ -131,6 +142,9 @@ pub struct BenchReport {
     /// Best-rung single-grain throughput over the frozen pre-optimization
     /// baseline (see the module docs).
     pub single_grain_speedup_ratio: Option<f64>,
+    /// Checkpointed/plain serial replay wall-time ratio (see the module
+    /// docs); gated against [`CHECKPOINT_OVERHEAD_CEILING`] on full runs.
+    pub checkpoint_overhead_ratio: Option<f64>,
 }
 
 impl BenchReport {
@@ -142,6 +156,7 @@ impl BenchReport {
             obs_overhead_ratio: None,
             sampled_speedup_ratio: None,
             single_grain_speedup_ratio: None,
+            checkpoint_overhead_ratio: None,
         }
     }
 
@@ -217,6 +232,13 @@ impl BenchReport {
             (
                 "single_grain_speedup_ratio".into(),
                 match self.single_grain_speedup_ratio {
+                    Some(r) => Json::Num(r),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "checkpoint_overhead_ratio".into(),
+                match self.checkpoint_overhead_ratio {
                     Some(r) => Json::Num(r),
                     None => Json::Null,
                 },
@@ -297,6 +319,9 @@ impl BenchReport {
             sampled_speedup_ratio: doc.get("sampled_speedup_ratio").and_then(Json::as_f64),
             single_grain_speedup_ratio: doc
                 .get("single_grain_speedup_ratio")
+                .and_then(Json::as_f64),
+            checkpoint_overhead_ratio: doc
+                .get("checkpoint_overhead_ratio")
                 .and_then(Json::as_f64),
         })
     }
@@ -440,6 +465,7 @@ mod tests {
             obs_overhead_ratio: Some(1.05),
             sampled_speedup_ratio: Some(4.2),
             single_grain_speedup_ratio: Some(6.1),
+            checkpoint_overhead_ratio: Some(1.03),
         }
     }
 
@@ -516,6 +542,21 @@ mod tests {
             vec![("replay".to_string(), StageSeconds { sum: 0.5, max: 0.5 })]
         );
         assert_eq!(parsed.single_grain_speedup_ratio, None);
+        assert_eq!(parsed.checkpoint_overhead_ratio, None);
+    }
+
+    #[test]
+    fn checkpoint_overhead_ratio_round_trips_and_is_not_diffed() {
+        let mut base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
+        base.checkpoint_overhead_ratio = Some(1.02);
+        let parsed = BenchReport::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed.checkpoint_overhead_ratio, Some(1.02));
+        // The ratio is an absolute gate, not a baseline diff: a current
+        // report measuring far above the baseline ratio must not regress
+        // the diff (the bench-runner's ceiling check owns that failure).
+        let mut cur = base.clone();
+        cur.checkpoint_overhead_ratio = Some(2.5);
+        assert!(!diff(&base, &cur).regressed);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! `From` impls convert each lower error losslessly, so `?` composes the
 //! whole stack.
 
-use reuselens_core::{AnalysisError, BudgetExceeded};
+use reuselens_core::{AnalysisError, BudgetExceeded, SnapshotError};
 use reuselens_trace::{DecodeError, ExecError};
 use std::error::Error;
 use std::fmt;
@@ -150,6 +150,10 @@ pub enum ReuseLensError {
         /// The block size (line or page size) that was not measured.
         granularity: u64,
     },
+    /// The checkpoint/resume subsystem failed (unwritable checkpoint
+    /// directory, failed snapshot write). Rejected snapshot *files* never
+    /// surface here — resume falls back past them.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for ReuseLensError {
@@ -174,6 +178,7 @@ impl fmt::Display for ReuseLensError {
                 f,
                 "no profile at granularity {granularity} (required by hierarchy {hierarchy:?})"
             ),
+            ReuseLensError::Snapshot(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -185,8 +190,15 @@ impl Error for ReuseLensError {
             ReuseLensError::Decode(e) => Some(e),
             ReuseLensError::Config(e) => Some(e),
             ReuseLensError::Budget(e) => Some(e),
+            ReuseLensError::Snapshot(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SnapshotError> for ReuseLensError {
+    fn from(e: SnapshotError) -> ReuseLensError {
+        ReuseLensError::Snapshot(e)
     }
 }
 

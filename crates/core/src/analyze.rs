@@ -45,15 +45,22 @@ use crate::budget::{AnalysisBudget, BudgetExceeded, BudgetProgress};
 use crate::partition::{replay_partitioned, ReplayThreads};
 use crate::patterns::ReuseProfile;
 use crate::sampling::{SampledAnalyzer, SamplingConfig};
+use crate::snapshot::{
+    decode_snapshot, encode_snapshot, list_snapshots, read_snapshot_bytes, write_snapshot_file,
+    Dec, Enc, SnapshotError, SnapshotHeader,
+};
 use reuselens_ir::{AccessKind, ArrayId, Program, RefId, ScopeId};
 use reuselens_obs as obs;
 use reuselens_trace::{
-    AccessRecord, BufferStats, DecodeError, Event, ExecError, ExecReport, Executor, TraceBuffer,
-    TraceSink,
+    AccessRecord, BufferStats, DecodeError, Event, ExecError, ExecReport, Executor, SegmentState,
+    SoaBatch, TraceBuffer, TraceSink,
 };
 use std::error::Error;
 use std::fmt;
+use std::fs;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Events per batch on the guarded (validated / budgeted) replay path;
@@ -312,6 +319,11 @@ pub struct FailureReport {
     /// Whether a sequential retry was attempted before declaring the
     /// grain dead.
     pub retried: bool,
+    /// Trace events the grain had processed when the final attempt
+    /// failed — how far the replay got before dying, so degraded and
+    /// resumed runs can report exact progress instead of discarding it.
+    /// Counted at batch granularity on the fast path.
+    pub events: u64,
 }
 
 impl fmt::Display for FailureReport {
@@ -436,6 +448,67 @@ impl GrainAnalyzer {
             GrainAnalyzer::Sampled(a) => a.finish(),
         }
     }
+
+    /// Serializes the engine's full mid-stream state into `e`.
+    fn snapshot_encode(&self, e: &mut Enc) {
+        match self {
+            GrainAnalyzer::Exact(a) => a.snapshot_encode(e),
+            GrainAnalyzer::Sampled(a) => a.snapshot_encode(e),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot's state frame. `sampled` comes
+    /// from the validated snapshot header and selects the engine.
+    fn snapshot_decode(
+        program: &Program,
+        block_size: u64,
+        sampled: bool,
+        d: &mut Dec<'_>,
+    ) -> Result<GrainAnalyzer, SnapshotError> {
+        if sampled {
+            SampledAnalyzer::snapshot_decode(program, block_size, d).map(GrainAnalyzer::Sampled)
+        } else {
+            ReuseAnalyzer::snapshot_decode(program, block_size, d).map(GrainAnalyzer::Exact)
+        }
+    }
+}
+
+/// One grain's failure before it is folded into a [`FailureReport`]: the
+/// error plus how many trace events the grain had processed when it died.
+struct GrainFailure {
+    error: GrainError,
+    events: u64,
+}
+
+/// Forwards a replay stream to a [`GrainAnalyzer`] while publishing the
+/// number of events delivered into an atomic cell — progress stays
+/// readable after the analyzer panics mid-stream, at batch granularity.
+struct CountingSink<'a> {
+    inner: &'a mut GrainAnalyzer,
+    events: &'a AtomicU64,
+}
+
+impl TraceSink for CountingSink<'_> {
+    fn access(&mut self, r: RefId, addr: u64, size: u32, kind: AccessKind) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.inner.access(r, addr, size, kind);
+    }
+    fn enter(&mut self, scope: ScopeId) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.inner.enter(scope);
+    }
+    fn exit(&mut self, scope: ScopeId) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.inner.exit(scope);
+    }
+    fn access_batch(&mut self, batch: &[AccessRecord]) {
+        self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.inner.access_batch(batch);
+    }
+    fn access_soa(&mut self, batch: &SoaBatch) {
+        self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.inner.access_soa(batch);
+    }
 }
 
 impl TraceSink for GrainAnalyzer {
@@ -467,11 +540,13 @@ impl TraceSink for GrainAnalyzer {
 }
 
 /// Replays `buffer` through `analyzer` on the validating decoder,
-/// checking the budget once per batch.
+/// checking the budget once per batch. Publishes decoded-event progress
+/// into `progress` so a failure still reports how far the grain got.
 fn replay_guarded(
     buffer: &TraceBuffer,
     analyzer: &mut GrainAnalyzer,
     budget: &AnalysisBudget,
+    progress: &AtomicU64,
 ) -> Result<(), GrainError> {
     let mut batch: Vec<AccessRecord> = Vec::with_capacity(GUARDED_BATCH);
     let mut events = 0u64;
@@ -489,6 +564,7 @@ fn replay_guarded(
     };
     for event in buffer.try_iter() {
         events += 1;
+        progress.store(events, Ordering::Relaxed);
         match event.map_err(GrainError::Decode)? {
             Event::Access { r, addr, size, kind } => {
                 accesses += 1;
@@ -530,12 +606,15 @@ fn replay_grain(
     buffer: &TraceBuffer,
     block_size: u64,
     opts: &AnalyzeOptions,
-) -> Result<(ReuseProfile, ReplayTiming, u64), GrainError> {
+) -> Result<(ReuseProfile, ReplayTiming, u64), GrainFailure> {
     let mut span = obs::span_with(obs::Stage::Replay, || obs::TimelineArgs {
         grain: Some(block_size),
         ..obs::TimelineArgs::default()
     });
     let start = Instant::now();
+    // Progress lives outside the unwind boundary so a panicking analyzer
+    // still leaves behind how many events it had processed.
+    let progress = AtomicU64::new(0);
     let outcome = panic::catch_unwind(AssertUnwindSafe(
         || -> Result<(ReuseProfile, u64), GrainError> {
             let parts = opts.replay_threads.resolve();
@@ -558,9 +637,13 @@ fn replay_grain(
             }
             let mut analyzer = GrainAnalyzer::new(program, block_size, opts.sampling);
             if opts.validate || !opts.budget.is_unlimited() {
-                replay_guarded(buffer, &mut analyzer, &opts.budget)?;
+                replay_guarded(buffer, &mut analyzer, &opts.budget, &progress)?;
             } else {
-                buffer.replay(&mut analyzer);
+                let mut counting = CountingSink {
+                    inner: &mut analyzer,
+                    events: &progress,
+                };
+                buffer.replay(&mut counting);
             }
             // The exact tree only grows during a replay, so its final size
             // is also its peak; a sampled tree shrinks on eviction, making
@@ -605,8 +688,14 @@ fn replay_grain(
                 tree_nodes,
             ))
         }
-        Ok(Err(e)) => Err(e),
-        Err(payload) => Err(GrainError::Panicked(panic_message(payload.as_ref()))),
+        Ok(Err(error)) => Err(GrainFailure {
+            error,
+            events: progress.load(Ordering::Relaxed),
+        }),
+        Err(payload) => Err(GrainFailure {
+            error: GrainError::Panicked(panic_message(payload.as_ref())),
+            events: progress.load(Ordering::Relaxed),
+        }),
     }
 }
 
@@ -627,7 +716,7 @@ pub fn analyze_buffer_with(
     opts: &AnalyzeOptions,
 ) -> PartialAnalysis {
     obs::add(obs::Counter::GrainsRequested, block_sizes.len() as u64);
-    let outcomes: Vec<Result<(ReuseProfile, ReplayTiming, u64), GrainError>> =
+    let outcomes: Vec<Result<(ReuseProfile, ReplayTiming, u64), GrainFailure>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = block_sizes
                 .iter()
@@ -640,7 +729,10 @@ pub fn analyze_buffer_with(
                     // `replay_grain` catches panics itself; this arm is a
                     // backstop for panics outside the catch (e.g. in the
                     // timing code).
-                    Err(payload) => Err(GrainError::Panicked(panic_message(payload.as_ref()))),
+                    Err(payload) => Err(GrainFailure {
+                        error: GrainError::Panicked(panic_message(payload.as_ref())),
+                        events: 0,
+                    }),
                 })
                 .collect()
         });
@@ -652,7 +744,10 @@ pub fn analyze_buffer_with(
             // A panicked grain gets one sequential retry on an otherwise
             // idle machine; decode and budget failures are deterministic,
             // so retrying them would only repeat the work.
-            Err(GrainError::Panicked(_)) if opts.retry => {
+            Err(GrainFailure {
+                error: GrainError::Panicked(_),
+                ..
+            }) if opts.retry => {
                 obs::add(obs::Counter::GrainsRetried, 1);
                 (replay_grain(program, buffer, block_size, opts), true)
             }
@@ -679,12 +774,12 @@ pub fn analyze_buffer_with(
                 profiles.push(profile);
                 replays.push(timing);
             }
-            Err(error) => {
+            Err(failure) => {
                 obs::add(obs::Counter::GrainsFailed, 1);
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
                     wall: Duration::ZERO,
-                    events: 0,
+                    events: failure.events,
                     distinct_blocks: 0,
                     tree_nodes: 0,
                     status: obs::GrainStatus::Failed,
@@ -694,8 +789,9 @@ pub fn analyze_buffer_with(
                 });
                 failures.push(FailureReport {
                     block_size,
-                    error,
+                    error: failure.error,
                     retried,
+                    events: failure.events,
                 });
             }
         }
@@ -725,6 +821,360 @@ pub fn analyze_buffer(
     block_sizes: &[u64],
 ) -> Result<(Vec<ReuseProfile>, Vec<ReplayTiming>), AnalysisError> {
     analyze_buffer_with(program, buffer, block_sizes, &AnalyzeOptions::default()).into_strict()
+}
+
+/// Where and how often [`analyze_buffer_checkpointed`] snapshots its
+/// progress, and whether it looks for earlier snapshots to resume from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Directory holding the snapshot files. Created if missing; one file
+    /// per grain and checkpoint boundary, named by
+    /// [`snapshot_file_name`](crate::snapshot_file_name).
+    pub dir: PathBuf,
+    /// Trace events between checkpoints. Values below 1 behave as 1. Each
+    /// interior multiple of this interval writes one snapshot per grain;
+    /// a finished grain writes none (its profile is the result).
+    pub every: u64,
+    /// Scan `dir` for this analysis's snapshots before replaying and
+    /// resume from the newest one that validates end to end. Corrupted,
+    /// torn, version-skewed, or mismatched files are rejected (counted on
+    /// [`obs::Counter::CheckpointsRejected`]) and the scan falls back to
+    /// the next-newest; with no valid snapshot the grain starts from the
+    /// beginning.
+    pub resume: bool,
+}
+
+/// How one checkpointed grain ended: completed, failed as a grain (kept
+/// as a [`FailureReport`]), or hit a checkpoint-infrastructure error that
+/// fails the whole call.
+type CkptGrainOutcome =
+    Result<Result<(ReuseProfile, ReplayTiming, u64), GrainFailure>, SnapshotError>;
+
+/// Scans the checkpoint directory for this grain's snapshots, newest
+/// first, and rebuilds the analyzer from the first one that passes every
+/// check: intact framing and CRCs, matching grain/engine/program shape,
+/// and agreement with the trace (the snapshot's access clock must equal
+/// the buffer's at the recorded event). Rejected files only advance the
+/// scan — recovery from a torn newest checkpoint is falling back to the
+/// one before it.
+///
+/// Only I/O on the directory listing itself is fatal; every per-file
+/// failure is counted and skipped.
+fn resume_grain(
+    program: &Program,
+    buffer: &TraceBuffer,
+    block_size: u64,
+    sampled: bool,
+    dir: &std::path::Path,
+) -> Result<Option<(GrainAnalyzer, SegmentState)>, SnapshotError> {
+    let nrefs = program.references().len() as u32;
+    for (events, path) in list_snapshots(dir, block_size)? {
+        let resumed = (|| -> Result<(GrainAnalyzer, SegmentState), SnapshotError> {
+            let bytes = read_snapshot_bytes(&path)?;
+            let (header, mut dec) = decode_snapshot(&bytes)?;
+            if header.block_size != block_size {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "snapshot is for grain {}, expected {block_size}",
+                        header.block_size
+                    ),
+                });
+            }
+            if header.sampled != sampled {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "snapshot was taken by the {} engine, this run uses the {} engine",
+                        if header.sampled { "sampled" } else { "exact" },
+                        if sampled { "sampled" } else { "exact" },
+                    ),
+                });
+            }
+            if header.nrefs != nrefs {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "snapshot program has {} references, this program has {nrefs}",
+                        header.nrefs
+                    ),
+                });
+            }
+            if header.events_replayed != events {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "file name claims event {events}, header records {}",
+                        header.events_replayed
+                    ),
+                });
+            }
+            if header.events_replayed > buffer.events() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "snapshot is at event {} but the trace has only {}",
+                        header.events_replayed,
+                        buffer.events()
+                    ),
+                });
+            }
+            let state = buffer.state_at(header.events_replayed);
+            if state.accesses != header.accesses_replayed {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "snapshot records {} accesses at event {}, the trace has {}",
+                        header.accesses_replayed, header.events_replayed, state.accesses
+                    ),
+                });
+            }
+            let analyzer =
+                GrainAnalyzer::snapshot_decode(program, block_size, header.sampled, &mut dec)?;
+            dec.finish()?;
+            Ok((analyzer, state))
+        })();
+        match resumed {
+            Ok(ok) => {
+                obs::add(obs::Counter::CheckpointsResumed, 1);
+                return Ok(Some(ok));
+            }
+            Err(_) => obs::add(obs::Counter::CheckpointsRejected, 1),
+        }
+    }
+    Ok(None)
+}
+
+/// One grain's checkpointed replay: resume (optionally), then alternate
+/// chunks of [`TraceBuffer::replay_advance`] with snapshot writes at each
+/// interior `every`-event boundary. Panic-isolated like [`replay_grain`].
+fn replay_grain_checkpointed(
+    program: &Program,
+    buffer: &TraceBuffer,
+    block_size: u64,
+    opts: &AnalyzeOptions,
+    ckpt: &CheckpointOptions,
+) -> CkptGrainOutcome {
+    let mut span = obs::span_with(obs::Stage::Replay, || obs::TimelineArgs {
+        grain: Some(block_size),
+        ..obs::TimelineArgs::default()
+    });
+    let start = Instant::now();
+    let progress = AtomicU64::new(0);
+    let every = ckpt.every.max(1);
+    let sampled = !opts.sampling.is_exact();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(
+        || -> Result<Result<(ReuseProfile, u64), GrainError>, SnapshotError> {
+            // The streaming loop decodes on the unchecked fast path, so an
+            // explicit validation request checks the whole buffer up front,
+            // as the partitioned engine does.
+            if opts.validate {
+                if let Err(e) = buffer.validate() {
+                    return Ok(Err(GrainError::Decode(e)));
+                }
+            }
+            let resumed = if ckpt.resume {
+                resume_grain(program, buffer, block_size, sampled, &ckpt.dir)?
+            } else {
+                None
+            };
+            let (mut analyzer, mut state) = match resumed {
+                Some(from) => from,
+                None => (
+                    GrainAnalyzer::new(program, block_size, opts.sampling),
+                    SegmentState::default(),
+                ),
+            };
+            progress.store(state.event, Ordering::Relaxed);
+            let nrefs = program.references().len() as u32;
+            while state.event < buffer.events() {
+                let target = state.event.saturating_add(every).min(buffer.events());
+                buffer.replay_advance(&mut state, target, &mut analyzer);
+                progress.store(state.event, Ordering::Relaxed);
+                if !opts.budget.is_unlimited() {
+                    let p = BudgetProgress {
+                        events: state.event,
+                        distinct_blocks: analyzer.tracked_blocks(),
+                        tree_nodes: analyzer.tree_nodes() as u64,
+                    };
+                    obs::set_gauge(obs::Gauge::BudgetEvents, p.events);
+                    obs::set_gauge(obs::Gauge::BudgetDistinctBlocks, p.distinct_blocks);
+                    obs::set_gauge(obs::Gauge::BudgetTreeNodes, p.tree_nodes);
+                    if let Err(e) = opts.budget.check(p) {
+                        return Ok(Err(GrainError::Budget(e)));
+                    }
+                }
+                if state.event < buffer.events() {
+                    let _ckpt_span = obs::span(obs::Stage::Checkpoint);
+                    let mut enc = Enc::new();
+                    analyzer.snapshot_encode(&mut enc);
+                    let header = SnapshotHeader {
+                        block_size,
+                        sampled,
+                        events_replayed: state.event,
+                        accesses_replayed: state.accesses,
+                        nrefs,
+                    };
+                    let image = encode_snapshot(&header, &enc.buf);
+                    write_snapshot_file(&ckpt.dir, block_size, state.event, &image)?;
+                    obs::add(obs::Counter::CheckpointsWritten, 1);
+                    obs::set_gauge(obs::Gauge::SnapshotBytes, image.len() as u64);
+                }
+            }
+            let tree_nodes = analyzer.tree_nodes() as u64;
+            Ok(Ok((analyzer.finish(), tree_nodes)))
+        },
+    ));
+    match outcome {
+        Ok(Ok(Ok((profile, tree_nodes)))) => {
+            match profile.sampling {
+                None => {
+                    obs::add(obs::Counter::BlocksTracked, profile.distinct_blocks);
+                    obs::add(
+                        obs::Counter::TreeReinserts,
+                        profile.total_accesses - profile.total_cold(),
+                    );
+                }
+                Some(info) => {
+                    obs::add(obs::Counter::BlocksSampled, info.blocks_sampled);
+                    obs::add(obs::Counter::BlocksEvicted, info.blocks_evicted);
+                    obs::add(obs::Counter::SampleRateDrops, info.rate_drops);
+                    obs::set_gauge(obs::Gauge::SamplingInvRate, info.inv);
+                }
+            }
+            span.record(|args| {
+                args.events = Some(buffer.events());
+                args.distinct_blocks = Some(profile.distinct_blocks);
+                args.tree_nodes = Some(tree_nodes);
+                args.sample_inv = profile.sampling.map(|s| s.inv);
+            });
+            Ok(Ok((
+                profile,
+                ReplayTiming {
+                    block_size,
+                    wall: start.elapsed(),
+                },
+                tree_nodes,
+            )))
+        }
+        Ok(Ok(Err(error))) => Ok(Err(GrainFailure {
+            error,
+            events: progress.load(Ordering::Relaxed),
+        })),
+        Ok(Err(fatal)) => Err(fatal),
+        Err(payload) => Ok(Err(GrainFailure {
+            error: GrainError::Panicked(panic_message(payload.as_ref())),
+            events: progress.load(Ordering::Relaxed),
+        })),
+    }
+}
+
+/// Crash-safe streaming form of [`analyze_buffer_with`]: each grain
+/// replays the buffer in chunks of [`CheckpointOptions::every`] events and
+/// serializes its **complete analyzer state** to
+/// [`CheckpointOptions::dir`] at every interior boundary, so a run killed
+/// at any point — including mid-write — can be rerun with
+/// [`CheckpointOptions::resume`] set and continue from the newest intact
+/// snapshot instead of the beginning.
+///
+/// Guarantees:
+///
+/// * **Bit-identical recovery** — a resumed run's profiles are equal, bit
+///   for bit, to an uninterrupted run's, for the exact and the sampled
+///   engine alike. (The streaming loop itself is serial and deterministic;
+///   [`AnalyzeOptions::replay_threads`] is ignored here, and serial exact
+///   profiles are bit-identical to partitioned ones anyway.)
+/// * **Hostile-input recovery** — a snapshot is only resumed from after
+///   full validation: framing, CRCs, version, and agreement with this
+///   program and trace. Anything torn, truncated, bit-flipped, or
+///   version-skewed is rejected with a typed [`SnapshotError`] internally,
+///   counted, and skipped in favor of the next-newest file.
+/// * The usual [`PartialAnalysis`] degradation: panicking or over-budget
+///   grains become [`FailureReport`]s, siblings survive.
+///
+/// Grains run sequentially (the point of checkpointing is surviving long
+/// unattended runs, not peak parallel throughput — use
+/// [`analyze_buffer_with`] when crash-safety is not needed).
+///
+/// # Errors
+///
+/// Only checkpoint-*infrastructure* failures fail the call: an unreadable
+/// checkpoint directory or an error while writing a snapshot (disk full,
+/// permissions). Corrupted snapshot *files* never do — they are fallback
+/// material, not errors.
+pub fn analyze_buffer_checkpointed(
+    program: &Program,
+    buffer: &TraceBuffer,
+    block_sizes: &[u64],
+    opts: &AnalyzeOptions,
+    ckpt: &CheckpointOptions,
+) -> Result<PartialAnalysis, SnapshotError> {
+    fs::create_dir_all(&ckpt.dir).map_err(|e| SnapshotError::Io {
+        op: "create checkpoint directory",
+        path: ckpt.dir.clone(),
+        message: e.to_string(),
+    })?;
+    obs::add(obs::Counter::GrainsRequested, block_sizes.len() as u64);
+    let mut profiles = Vec::new();
+    let mut replays = Vec::new();
+    let mut failures = Vec::new();
+    for &block_size in block_sizes {
+        let outcome = replay_grain_checkpointed(program, buffer, block_size, opts, ckpt)?;
+        let (outcome, retried) = match outcome {
+            Err(GrainFailure {
+                error: GrainError::Panicked(_),
+                ..
+            }) if opts.retry => {
+                obs::add(obs::Counter::GrainsRetried, 1);
+                (
+                    replay_grain_checkpointed(program, buffer, block_size, opts, ckpt)?,
+                    true,
+                )
+            }
+            other => (other, false),
+        };
+        match outcome {
+            Ok((profile, timing, tree_nodes)) => {
+                obs::add(obs::Counter::GrainsCompleted, 1);
+                obs::record_grain(&obs::GrainProfile {
+                    block_size,
+                    wall: timing.wall,
+                    events: buffer.events(),
+                    distinct_blocks: profile.distinct_blocks,
+                    tree_nodes,
+                    status: if retried {
+                        obs::GrainStatus::Retried
+                    } else {
+                        obs::GrainStatus::Completed
+                    },
+                    blocks_sampled: profile.sampling.map_or(0, |s| s.blocks_sampled),
+                    blocks_evicted: profile.sampling.map_or(0, |s| s.blocks_evicted),
+                    sample_inv: profile.sampling.map_or(0, |s| s.inv),
+                });
+                profiles.push(profile);
+                replays.push(timing);
+            }
+            Err(failure) => {
+                obs::add(obs::Counter::GrainsFailed, 1);
+                obs::record_grain(&obs::GrainProfile {
+                    block_size,
+                    wall: Duration::ZERO,
+                    events: failure.events,
+                    distinct_blocks: 0,
+                    tree_nodes: 0,
+                    status: obs::GrainStatus::Failed,
+                    blocks_sampled: 0,
+                    blocks_evicted: 0,
+                    sample_inv: 0,
+                });
+                failures.push(FailureReport {
+                    block_size,
+                    error: failure.error,
+                    retried,
+                    events: failure.events,
+                });
+            }
+        }
+    }
+    Ok(PartialAnalysis {
+        profiles,
+        replays,
+        failures,
+    })
 }
 
 /// Capture-once / replay-many variant of [`analyze_program`]: interprets

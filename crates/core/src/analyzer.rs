@@ -8,8 +8,9 @@
 //! in the histogram of the *(sink reference, source scope, carrying scope)*
 //! pattern.
 
-use crate::blocktable::BlockTable;
+use crate::blocktable::{BlockTable, MAX_BLOCKS};
 use crate::histogram::Histogram;
+use crate::snapshot::{Dec, Enc, SnapshotError};
 use crate::timebits::TimeBits;
 use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
 use crate::scopestack::ScopeStack;
@@ -143,6 +144,115 @@ impl SinkPatterns {
             );
         }
     }
+}
+
+/// Serializes a scope stack's open scopes (the root is implicit) for a
+/// snapshot. Shared by the exact and sampled analyzers.
+pub(crate) fn encode_scope_stack(e: &mut Enc, stack: &ScopeStack) {
+    let open = stack.open_scopes();
+    e.u64(open.len() as u64);
+    for &(scope, clock) in open {
+        e.u32(scope.0);
+        e.u64(clock);
+    }
+}
+
+/// Decodes a scope stack, validating that entry clocks are monotone and
+/// no later than the analyzer clock `max_clock`.
+pub(crate) fn decode_scope_stack(
+    d: &mut Dec<'_>,
+    max_clock: u64,
+) -> Result<ScopeStack, SnapshotError> {
+    let n = d.len(12)?;
+    let mut open = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let scope = d.u32()?;
+        let at = d.offset();
+        let clock = d.u64()?;
+        if clock < prev || clock > max_clock {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: format!(
+                    "scope entry clock {clock} breaks monotonicity \
+                     (previous {prev}, analyzer clock {max_clock})"
+                ),
+            });
+        }
+        prev = clock;
+        open.push((ScopeId(scope), clock));
+    }
+    Ok(ScopeStack::with_open_scopes(&open))
+}
+
+/// Serializes every sink's pattern set for a snapshot. Histograms are
+/// written as `(low, count)` pairs in bin order — the same canonical form
+/// the profile serializer proved round-trips through `iter`/`add_n` —
+/// and the hash index and hot-entry hints, being derived state, are
+/// skipped and rebuilt on decode.
+pub(crate) fn encode_sink_patterns(e: &mut Enc, per_sink: &[SinkPatterns]) {
+    e.u64(per_sink.len() as u64);
+    for sp in per_sink {
+        e.u64(sp.entries.len() as u64);
+        for (source, carrier, h) in &sp.entries {
+            e.u32(source.0);
+            e.u32(carrier.0);
+            e.u64(h.bin_count() as u64);
+            for (lo, _, count) in h.iter() {
+                e.u64(lo);
+                e.u64(count);
+            }
+        }
+    }
+}
+
+/// Decodes every sink's pattern set, validating the sink count against
+/// the program and each histogram's canonical form (ascending bins,
+/// nonzero counts).
+pub(crate) fn decode_sink_patterns(
+    d: &mut Dec<'_>,
+    nrefs: usize,
+) -> Result<Vec<SinkPatterns>, SnapshotError> {
+    let n = d.len(8)?;
+    if n != nrefs {
+        return Err(SnapshotError::Mismatch {
+            what: format!("snapshot has {n} sinks, the program has {nrefs} references"),
+        });
+    }
+    let mut per_sink = Vec::with_capacity(n);
+    for _ in 0..n {
+        let nentries = d.len(24)?;
+        let mut entries = Vec::with_capacity(nentries);
+        for _ in 0..nentries {
+            let source = ScopeId(d.u32()?);
+            let carrier = ScopeId(d.u32()?);
+            let nbins = d.len(16)?;
+            let mut h = Histogram::new();
+            let mut prev_lo = None;
+            for _ in 0..nbins {
+                let at = d.offset();
+                let lo = d.u64()?;
+                let count = d.u64()?;
+                if count == 0 || prev_lo.is_some_and(|p| lo <= p) {
+                    return Err(SnapshotError::Corrupt {
+                        offset: at,
+                        what: format!("histogram bin ({lo}, {count}) is not in canonical form"),
+                    });
+                }
+                prev_lo = Some(lo);
+                h.add_n(lo, count);
+            }
+            entries.push((source, carrier, h));
+        }
+        let mut sp = SinkPatterns {
+            entries,
+            index: None,
+            hot: 0,
+        };
+        sp.maybe_index();
+        per_sink.push(sp);
+    }
+    Ok(per_sink)
 }
 
 /// Measures reuse distances at one block granularity while a program
@@ -279,6 +389,160 @@ impl ReuseAnalyzer {
             distinct_blocks: self.distinct,
             sampling: None,
         }
+    }
+
+    /// Serializes the full mid-stream analyzer state into a snapshot
+    /// frame. Everything live is written verbatim (window order, stale
+    /// block-table entries included); everything derivable — the Fenwick
+    /// tree, pattern hash indexes, hot hints, `ref_scopes` — is skipped
+    /// and rebuilt on decode, so the encoding of a given state is unique.
+    pub(crate) fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.clock);
+        e.u64(self.distinct);
+        match self.last_distance {
+            None => e.u8(0),
+            Some(dist) => {
+                e.u8(1);
+                e.u64(dist);
+            }
+        }
+        e.u64(self.window.len() as u64);
+        for w in &self.window {
+            e.u64(w.block);
+            e.u64(w.time);
+            e.u32(w.ref_id);
+        }
+        encode_scope_stack(e, &self.stack);
+        encode_sink_patterns(e, &self.per_sink);
+        e.u64(self.cold.len() as u64);
+        for &c in &self.cold {
+            e.u64(c);
+        }
+        let mut count = 0u64;
+        self.table.for_each(|_, _| count += 1);
+        e.u64(count);
+        self.table.for_each(|block, entry| {
+            e.u64(block);
+            e.u64(entry.time);
+            e.u32(entry.ref_id);
+        });
+        let (words, base, len) = self.tree.snapshot_parts();
+        e.u64(words.len() as u64);
+        for &w in words {
+            e.u64(w);
+        }
+        e.u64(base);
+        e.u64(len);
+    }
+
+    /// Rebuilds a mid-stream analyzer from [`snapshot_encode`] output,
+    /// validating every structural invariant the bytes could violate:
+    /// window and table times bounded by the clock, blocks inside the
+    /// modeled address space, references inside the program, the time
+    /// bitmap's population matching its length. Never panics on hostile
+    /// input — a violated invariant is a typed [`SnapshotError`].
+    pub(crate) fn snapshot_decode(
+        program: &Program,
+        block_size: u64,
+        d: &mut Dec<'_>,
+    ) -> Result<ReuseAnalyzer, SnapshotError> {
+        debug_assert!(block_size.is_power_of_two());
+        let nrefs = program.references().len();
+        let clock = d.u64()?;
+        let distinct = d.u64()?;
+        let last_distance = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()?),
+            other => return Err(d.corrupt(format!("unknown last-distance tag {other}"))),
+        };
+        let wlen = d.len(20)?;
+        if wlen > WINDOW {
+            return Err(d.corrupt(format!("window holds {wlen} entries, limit {WINDOW}")));
+        }
+        let mut window = Vec::with_capacity(WINDOW + 1);
+        let mut prev_time = 0u64;
+        for _ in 0..wlen {
+            let at = d.offset();
+            let block = d.u64()?;
+            let time = d.u64()?;
+            let ref_id = d.u32()?;
+            if block >= MAX_BLOCKS || time <= prev_time || time > clock || ref_id as usize >= nrefs
+            {
+                return Err(SnapshotError::Corrupt {
+                    offset: at,
+                    what: format!(
+                        "window entry (block {block}, time {time}, ref {ref_id}) \
+                         violates window invariants at clock {clock}"
+                    ),
+                });
+            }
+            prev_time = time;
+            window.push(WinEntry { block, time, ref_id });
+        }
+        let stack = decode_scope_stack(d, clock)?;
+        let per_sink = decode_sink_patterns(d, nrefs)?;
+        let clen = d.len(8)?;
+        if clen != nrefs {
+            return Err(SnapshotError::Mismatch {
+                what: format!("snapshot has {clen} cold counters, the program has {nrefs}"),
+            });
+        }
+        let mut cold = Vec::with_capacity(clen);
+        for _ in 0..clen {
+            cold.push(d.u64()?);
+        }
+        let tcount = d.len(20)?;
+        let mut table = BlockTable::new();
+        let mut prev_block = None;
+        for _ in 0..tcount {
+            let at = d.offset();
+            let block = d.u64()?;
+            let time = d.u64()?;
+            let ref_id = d.u32()?;
+            if block >= MAX_BLOCKS
+                || prev_block.is_some_and(|p| block <= p)
+                || time == 0
+                || time > clock
+                || ref_id as usize >= nrefs
+            {
+                return Err(SnapshotError::Corrupt {
+                    offset: at,
+                    what: format!(
+                        "block-table entry (block {block}, time {time}, ref {ref_id}) \
+                         violates table invariants at clock {clock}"
+                    ),
+                });
+            }
+            prev_block = Some(block);
+            table.set(block, time, ref_id);
+        }
+        let nwords = d.len(8)?;
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(d.u64()?);
+        }
+        let base = d.u64()?;
+        let at = d.offset();
+        let len = d.u64()?;
+        let tree = TimeBits::from_snapshot_parts(words, base, len).ok_or_else(|| {
+            SnapshotError::Corrupt {
+                offset: at,
+                what: "time bitmap population does not match its stored length".to_string(),
+            }
+        })?;
+        Ok(ReuseAnalyzer {
+            block_shift: block_size.trailing_zeros(),
+            clock,
+            table,
+            tree,
+            window,
+            distinct,
+            stack,
+            per_sink,
+            cold,
+            ref_scopes: program.references().iter().map(|r| r.scope()).collect(),
+            last_distance,
+        })
     }
 
     /// The per-access hot path, shared by every [`TraceSink`] entry point.

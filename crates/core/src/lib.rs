@@ -45,14 +45,15 @@ mod reference;
 mod sampling;
 mod scopestack;
 mod serialize;
+mod snapshot;
 mod spatial;
 mod timebits;
 
 pub use analyze::{
-    analyze_buffer, analyze_buffer_with, analyze_program, analyze_program_degraded,
-    analyze_program_parallel, analyze_program_parallel_with, capture_program, AnalysisError,
-    AnalysisResult, AnalysisStats,
-    AnalyzeOptions, FailureReport, GrainError, PartialAnalysis, ReplayTiming,
+    analyze_buffer, analyze_buffer_checkpointed, analyze_buffer_with, analyze_program,
+    analyze_program_degraded, analyze_program_parallel, analyze_program_parallel_with,
+    capture_program, AnalysisError, AnalysisResult, AnalysisStats,
+    AnalyzeOptions, CheckpointOptions, FailureReport, GrainError, PartialAnalysis, ReplayTiming,
 };
 pub use analyzer::{MultiGrainAnalyzer, ReuseAnalyzer};
 pub use partition::ReplayThreads;
@@ -65,6 +66,7 @@ pub use ostree::OrderStatTree;
 pub use patterns::{PatternKey, ReusePattern, ReuseProfile};
 pub use sampling::{SampledAnalyzer, SamplingConfig, SamplingInfo};
 pub use scopestack::ScopeStack;
+pub use snapshot::{snapshot_file_name, snapshot_meta, SnapshotError, SnapshotMeta, SNAPSHOT_VERSION};
 pub use timebits::TimeBits;
 pub use serialize::{read_profiles, write_profiles, ReadError, SavedProfiles};
 pub use spatial::{measure_spatial, ArraySpatial, SpatialProfile, SpatialSink};

@@ -269,6 +269,30 @@ impl OrderStatTree {
         count
     }
 
+    /// Visits every stored key in ascending order. This is the tree's
+    /// snapshot surface: a rebuild from the visited sequence reproduces
+    /// an equivalent tree (shape aside), so derived structure never needs
+    /// to be serialized.
+    pub fn for_each_key(&self, mut f: impl FnMut(u64)) {
+        // Iterative in-order walk; the explicit stack holds one entry per
+        // level of the AVL tree.
+        let mut stack: Vec<u32> = Vec::new();
+        let mut n = self.root;
+        while n != NIL || !stack.is_empty() {
+            while n != NIL {
+                stack.push(n);
+                n = self.nodes[n as usize].left;
+            }
+            let top = match stack.pop() {
+                Some(top) => top,
+                None => return,
+            };
+            let node = &self.nodes[top as usize];
+            f(node.key);
+            n = node.right;
+        }
+    }
+
     /// True when the key is present.
     pub fn contains(&self, key: u64) -> bool {
         let mut n = self.root;

@@ -37,10 +37,14 @@
 //! biases those few distances low by at most the evicted fraction —
 //! the error model the accuracy harness bounds.
 
-use crate::analyzer::SinkPatterns;
+use crate::analyzer::{
+    decode_scope_stack, decode_sink_patterns, encode_scope_stack, encode_sink_patterns,
+    SinkPatterns,
+};
 use crate::ostree::OrderStatTree;
 use crate::patterns::{PatternKey, ReusePattern, ReuseProfile};
 use crate::scopestack::ScopeStack;
+use crate::snapshot::{Dec, Enc, SnapshotError};
 use reuselens_ir::{AccessKind, Program, RefId, ScopeId};
 use reuselens_trace::TraceSink;
 use std::collections::HashMap;
@@ -314,6 +318,152 @@ impl SampledAnalyzer {
                 self.blocks_evicted += 1;
             }
         }
+    }
+
+    /// Serializes the full mid-stream sampling state — clock, rate, the
+    /// books, every tracked block, scopes, patterns, cold counts. The
+    /// tracked set is written sorted by block number so the encoding is
+    /// independent of `HashMap` iteration order; per-block hashes, the
+    /// hash threshold, and the order-statistic tree are derived state and
+    /// rebuilt on decode.
+    pub(crate) fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.clock);
+        e.u64(self.total_accesses);
+        e.u64(self.inv);
+        e.u64(self.budget);
+        e.u64(self.est_distinct);
+        e.u64(self.blocks_sampled);
+        e.u64(self.blocks_evicted);
+        e.u64(self.rate_drops);
+        let mut rows: Vec<(u64, u64, u32)> = self
+            .table
+            .iter()
+            .map(|(&block, t)| (block, t.time, t.ref_id))
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        e.u64(rows.len() as u64);
+        for (block, time, ref_id) in rows {
+            e.u64(block);
+            e.u64(time);
+            e.u32(ref_id);
+        }
+        encode_scope_stack(e, &self.stack);
+        encode_sink_patterns(e, &self.per_sink);
+        e.u64(self.cold.len() as u64);
+        for &c in &self.cold {
+            e.u64(c);
+        }
+    }
+
+    /// Rebuilds a mid-stream sampled analyzer from
+    /// [`snapshot_encode`](Self::snapshot_encode) output. Validates the
+    /// rate, the books balance (`sampled == tracked + evicted`), and —
+    /// via the recomputed spatial hash — that every tracked block really
+    /// belongs to the sample at the recorded rate; a typed
+    /// [`SnapshotError`] on any violation, never a panic.
+    pub(crate) fn snapshot_decode(
+        program: &Program,
+        block_size: u64,
+        d: &mut Dec<'_>,
+    ) -> Result<SampledAnalyzer, SnapshotError> {
+        debug_assert!(block_size.is_power_of_two());
+        let nrefs = program.references().len();
+        let clock = d.u64()?;
+        let at = d.offset();
+        let total_accesses = d.u64()?;
+        if clock > total_accesses {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: format!("sampled clock {clock} exceeds {total_accesses} total accesses"),
+            });
+        }
+        let at = d.offset();
+        let inv = d.u64()?;
+        if inv == 0 {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: "inverse sampling rate is zero".to_string(),
+            });
+        }
+        let threshold = u64::MAX / inv;
+        let budget = d.u64()?;
+        let est_distinct = d.u64()?;
+        let blocks_sampled = d.u64()?;
+        let blocks_evicted = d.u64()?;
+        let rate_drops = d.u64()?;
+        let at = d.offset();
+        let n = d.len(20)?;
+        if blocks_sampled != n as u64 + blocks_evicted {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: format!(
+                    "sampling books do not balance: {blocks_sampled} sampled != \
+                     {n} tracked + {blocks_evicted} evicted"
+                ),
+            });
+        }
+        let mut table = HashMap::with_capacity(n);
+        let mut tree = OrderStatTree::with_capacity(n);
+        let mut prev_block = None;
+        for _ in 0..n {
+            let at = d.offset();
+            let block = d.u64()?;
+            let time = d.u64()?;
+            let ref_id = d.u32()?;
+            let hash = spatial_hash(block);
+            if prev_block.is_some_and(|p| block <= p)
+                || time == 0
+                || time > clock
+                || ref_id as usize >= nrefs
+                || hash > threshold
+            {
+                return Err(SnapshotError::Corrupt {
+                    offset: at,
+                    what: format!(
+                        "tracked block (block {block}, time {time}, ref {ref_id}) \
+                         violates sampling invariants at clock {clock}, inv {inv}"
+                    ),
+                });
+            }
+            if !tree.insert(time) {
+                return Err(SnapshotError::Corrupt {
+                    offset: at,
+                    what: format!("duplicate last-access time {time} in the tracked set"),
+                });
+            }
+            prev_block = Some(block);
+            table.insert(block, Tracked { time, ref_id, hash });
+        }
+        let stack = decode_scope_stack(d, clock)?;
+        let per_sink = decode_sink_patterns(d, nrefs)?;
+        let clen = d.len(8)?;
+        if clen != nrefs {
+            return Err(SnapshotError::Mismatch {
+                what: format!("snapshot has {clen} cold counters, the program has {nrefs}"),
+            });
+        }
+        let mut cold = Vec::with_capacity(clen);
+        for _ in 0..clen {
+            cold.push(d.u64()?);
+        }
+        Ok(SampledAnalyzer {
+            block_shift: block_size.trailing_zeros(),
+            clock,
+            total_accesses,
+            inv,
+            threshold,
+            budget,
+            table,
+            tree,
+            stack,
+            per_sink,
+            cold,
+            ref_scopes: program.references().iter().map(|r| r.scope()).collect(),
+            est_distinct,
+            blocks_sampled,
+            blocks_evicted,
+            rate_drops,
+        })
     }
 
     /// Consumes the analyzer and produces the scaled profile.

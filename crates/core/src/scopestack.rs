@@ -55,6 +55,13 @@ impl ScopeStack {
         ScopeStack { entries }
     }
 
+    /// The open scopes above the implicit root, with their entry clocks —
+    /// the inverse of [`with_open_scopes`](Self::with_open_scopes), used
+    /// to serialize the stack into a snapshot.
+    pub(crate) fn open_scopes(&self) -> &[(ScopeId, u64)] {
+        &self.entries[1..]
+    }
+
     /// Pushes a scope entered when `clock` accesses had executed.
     pub fn enter(&mut self, scope: ScopeId, clock: u64) {
         debug_assert!(

@@ -129,6 +129,33 @@ impl TimeBits {
         (removed, count)
     }
 
+    /// The serializable parts of the structure: `(words, base, len)`.
+    /// The Fenwick tree is derived state and deliberately excluded — a
+    /// snapshot reader rebuilds it, so it can never be inconsistent with
+    /// the bitmap it summarizes.
+    pub(crate) fn snapshot_parts(&self) -> (&[u64], u64, u64) {
+        (&self.words, self.base, self.len)
+    }
+
+    /// Rebuilds a set from [`snapshot_parts`](Self::snapshot_parts)
+    /// output, recomputing the Fenwick tree. Returns `None` when the
+    /// claimed `len` disagrees with the bitmap's population count — the
+    /// one invariant the parts themselves can violate.
+    pub(crate) fn from_snapshot_parts(words: Vec<u64>, base: u64, len: u64) -> Option<TimeBits> {
+        let pop: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        if pop != len {
+            return None;
+        }
+        let mut t = TimeBits {
+            words,
+            fenwick: Vec::new(),
+            base,
+            len,
+        };
+        t.rebuild_fenwick();
+        Some(t)
+    }
+
     /// Word index for time `t`, or `None` when `t` lies below the base.
     /// Does not grow storage.
     fn word_index(&self, t: u64) -> Option<usize> {

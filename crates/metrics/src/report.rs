@@ -1,9 +1,10 @@
 //! The one-call locality analysis: execute, measure, predict, attribute.
 
 use crate::attribution::LevelMetrics;
-use reuselens_cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
+use reuselens_cache::{report_from_analysis, HierarchyReport, MemoryHierarchy, ReuseLensError};
 use reuselens_core::{
-    analyze_buffer_with, capture_program, AnalysisResult, AnalyzeOptions, SamplingConfig,
+    analyze_buffer_checkpointed, analyze_buffer_with, capture_program, AnalysisResult,
+    AnalyzeOptions, CheckpointOptions, SamplingConfig,
 };
 use reuselens_ir::{ArrayId, Program};
 use reuselens_obs as obs;
@@ -138,6 +139,50 @@ pub fn run_locality_analysis_opts(
         .into_strict()
         .unwrap_or_else(|e| panic!("{e}"));
     let analysis = AnalysisResult { profiles, exec };
+    Ok(attribute_analysis(program, hierarchy, analysis))
+}
+
+/// [`run_locality_analysis_opts`] through the crash-safe streaming replay
+/// engine ([`analyze_buffer_checkpointed`]): each granularity snapshots
+/// its analyzer state to [`CheckpointOptions::dir`] every
+/// [`CheckpointOptions::every`] events, and with
+/// [`CheckpointOptions::resume`] set a rerun continues from the newest
+/// valid snapshot. The resulting analysis is bit-identical to an
+/// uninterrupted [`run_locality_analysis_opts`] run with the same
+/// [`AnalyzeOptions`]. This is what the CLI's `--checkpoint-dir`,
+/// `--checkpoint-every`, and `--resume` flags plumb into.
+///
+/// # Errors
+///
+/// Propagates executor errors, checkpoint-infrastructure failures
+/// ([`ReuseLensError::Snapshot`]), and any grain failure — unlike the
+/// panic-on-grain-failure shortcut in [`run_locality_analysis_opts`],
+/// everything here surfaces as a typed [`ReuseLensError`].
+pub fn run_locality_analysis_checkpointed(
+    program: &Program,
+    hierarchy: &MemoryHierarchy,
+    index_arrays: Vec<(ArrayId, Vec<i64>)>,
+    opts: &AnalyzeOptions,
+    ckpt: &CheckpointOptions,
+) -> Result<LocalityAnalysis, ReuseLensError> {
+    let (buffer, exec) = capture_program(program, index_arrays)?;
+    buffer
+        .validate()
+        .unwrap_or_else(|e| panic!("in-process capture failed validation: {e}"));
+    let grains = hierarchy.required_granularities();
+    let (profiles, _timings) = analyze_buffer_checkpointed(program, &buffer, &grains, opts, ckpt)?
+        .into_strict()?;
+    let analysis = AnalysisResult { profiles, exec };
+    Ok(attribute_analysis(program, hierarchy, analysis))
+}
+
+/// The shared back half of the pipeline: miss prediction, static
+/// analysis, and per-level attribution over an already-measured analysis.
+fn attribute_analysis(
+    program: &Program,
+    hierarchy: &MemoryHierarchy,
+    analysis: AnalysisResult,
+) -> LocalityAnalysis {
     let report = report_from_analysis(&analysis, hierarchy);
     let _span = obs::span_with(obs::Stage::Report, || obs::TimelineArgs {
         hierarchy: Some(hierarchy.name.clone()),
@@ -160,13 +205,13 @@ pub fn run_locality_analysis_opts(
         .expect("page-granularity profile");
     let tlb_metrics = LevelMetrics::compute(program, &report.tlb, tlb_profile, &sa);
     obs::add(obs::Counter::ReportsGenerated, 1);
-    Ok(LocalityAnalysis {
+    LocalityAnalysis {
         report,
         cache_metrics,
         tlb_metrics,
         static_analysis: sa,
         analysis,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -94,27 +94,33 @@ pub enum Stage {
     Sweep,
     /// Building one attribution report from a scored analysis.
     Report,
+    /// Serializing and writing one crash-safety snapshot of a grain's
+    /// analyzer state (nested inside that grain's [`Stage::Replay`] span).
+    Checkpoint,
 }
 
 impl Stage {
     /// Every stage, in dense-index order (used for metric storage).
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
         Stage::Partition,
         Stage::Sweep,
         Stage::Report,
+        Stage::Checkpoint,
     ];
 
     /// Every stage in the order the pipeline executes them:
-    /// capture → decode → replay → partition → sweep → report. Exporters
-    /// print stages in this order, independent of the enum's index layout.
-    pub const PIPELINE_ORDER: [Stage; 6] = [
+    /// capture → decode → replay → partition → checkpoint → sweep →
+    /// report. Exporters print stages in this order, independent of the
+    /// enum's index layout.
+    pub const PIPELINE_ORDER: [Stage; 7] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
         Stage::Partition,
+        Stage::Checkpoint,
         Stage::Sweep,
         Stage::Report,
     ];
@@ -128,6 +134,7 @@ impl Stage {
             Stage::Partition => "partition",
             Stage::Sweep => "sweep",
             Stage::Report => "report",
+            Stage::Checkpoint => "checkpoint",
         }
     }
 
@@ -183,11 +190,19 @@ pub enum Counter {
     /// Cross-partition reuses resolved during the stitch pass of
     /// single-grain parallel replay.
     PartitionStitch,
+    /// Crash-safety snapshots written by checkpointed replay.
+    CheckpointsWritten,
+    /// Grains that resumed from a validated snapshot instead of replaying
+    /// from the beginning.
+    CheckpointsResumed,
+    /// Snapshot files rejected during resume (torn, corrupted,
+    /// version-skewed, or mismatched with the trace).
+    CheckpointsRejected,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::EventsCaptured,
         Counter::AccessesCaptured,
         Counter::BytesEncoded,
@@ -208,6 +223,9 @@ impl Counter {
         Counter::SampleRateDrops,
         Counter::PartitionsSpawned,
         Counter::PartitionStitch,
+        Counter::CheckpointsWritten,
+        Counter::CheckpointsResumed,
+        Counter::CheckpointsRejected,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -234,6 +252,9 @@ impl Counter {
             Counter::SampleRateDrops => "sample_rate_drops",
             Counter::PartitionsSpawned => "partitions_spawned",
             Counter::PartitionStitch => "partition_stitch",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::CheckpointsResumed => "checkpoints_resumed",
+            Counter::CheckpointsRejected => "checkpoints_rejected",
         }
     }
 
@@ -270,6 +291,11 @@ impl Counter {
             Counter::PartitionStitch => {
                 "Cross-partition reuses resolved during partitioned-replay stitching."
             }
+            Counter::CheckpointsWritten => "Crash-safety snapshots written by checkpointed replay.",
+            Counter::CheckpointsResumed => "Grains resumed from a validated snapshot.",
+            Counter::CheckpointsRejected => {
+                "Snapshot files rejected during resume (torn, corrupted, or mismatched)."
+            }
         }
     }
 
@@ -292,15 +318,19 @@ pub enum Gauge {
     BudgetTreeNodes,
     /// Inverse sampling rate of the most recently finished sampled grain.
     SamplingInvRate,
+    /// Encoded size of the most recently written crash-safety snapshot,
+    /// in bytes.
+    SnapshotBytes,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::BudgetEvents,
         Gauge::BudgetDistinctBlocks,
         Gauge::BudgetTreeNodes,
         Gauge::SamplingInvRate,
+        Gauge::SnapshotBytes,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -311,6 +341,7 @@ impl Gauge {
             Gauge::BudgetDistinctBlocks => "budget_distinct_blocks",
             Gauge::BudgetTreeNodes => "budget_tree_nodes",
             Gauge::SamplingInvRate => "sampling_inv_rate",
+            Gauge::SnapshotBytes => "snapshot_bytes",
         }
     }
 
@@ -324,6 +355,9 @@ impl Gauge {
             Gauge::BudgetTreeNodes => "Live tree nodes at the latest budget checkpoint.",
             Gauge::SamplingInvRate => {
                 "Inverse sampling rate of the most recently finished sampled grain."
+            }
+            Gauge::SnapshotBytes => {
+                "Bytes of the most recently written crash-safety snapshot."
             }
         }
     }

@@ -128,6 +128,15 @@ reuselens_partitions_spawned_total 190
 # HELP reuselens_partition_stitch_total Cross-partition reuses resolved during partitioned-replay stitching.
 # TYPE reuselens_partition_stitch_total counter
 reuselens_partition_stitch_total 200
+# HELP reuselens_checkpoints_written_total Crash-safety snapshots written by checkpointed replay.
+# TYPE reuselens_checkpoints_written_total counter
+reuselens_checkpoints_written_total 210
+# HELP reuselens_checkpoints_resumed_total Grains resumed from a validated snapshot.
+# TYPE reuselens_checkpoints_resumed_total counter
+reuselens_checkpoints_resumed_total 220
+# HELP reuselens_checkpoints_rejected_total Snapshot files rejected during resume (torn, corrupted, or mismatched).
+# TYPE reuselens_checkpoints_rejected_total counter
+reuselens_checkpoints_rejected_total 230
 # HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
 # TYPE reuselens_budget_events gauge
 reuselens_budget_events 7
@@ -140,6 +149,9 @@ reuselens_budget_tree_nodes 21
 # HELP reuselens_sampling_inv_rate Inverse sampling rate of the most recently finished sampled grain.
 # TYPE reuselens_sampling_inv_rate gauge
 reuselens_sampling_inv_rate 28
+# HELP reuselens_snapshot_bytes Bytes of the most recently written crash-safety snapshot.
+# TYPE reuselens_snapshot_bytes gauge
+reuselens_snapshot_bytes 35
 # HELP reuselens_stage_spans_total Completed spans per pipeline stage.
 # TYPE reuselens_stage_spans_total counter
 reuselens_stage_spans_total{stage="capture"} 1
@@ -148,6 +160,7 @@ reuselens_stage_spans_total{stage="replay"} 2
 reuselens_stage_spans_total{stage="partition"} 2
 reuselens_stage_spans_total{stage="sweep"} 1
 reuselens_stage_spans_total{stage="report"} 0
+reuselens_stage_spans_total{stage="checkpoint"} 0
 # HELP reuselens_stage_seconds_total Wall-clock seconds spent per pipeline stage.
 # TYPE reuselens_stage_seconds_total counter
 reuselens_stage_seconds_total{stage="capture"} 0.000000000
@@ -156,6 +169,7 @@ reuselens_stage_seconds_total{stage="replay"} 0.000000000
 reuselens_stage_seconds_total{stage="partition"} 0.000000000
 reuselens_stage_seconds_total{stage="sweep"} 0.000000000
 reuselens_stage_seconds_total{stage="report"} 0.000000000
+reuselens_stage_seconds_total{stage="checkpoint"} 0.000000000
 # HELP reuselens_grain_replays_total Replays recorded per grain and status.
 # TYPE reuselens_grain_replays_total counter
 reuselens_grain_replays_total{grain="64",status="completed"} 1
@@ -209,11 +223,15 @@ counters
   sample_rate_drops                       180
   partitions_spawned                      190
   partition_stitch                        200
+  checkpoints_written                     210
+  checkpoints_resumed                     220
+  checkpoints_rejected                    230
 gauges
   budget_events                             7
   budget_distinct_blocks                   14
   budget_tree_nodes                        21
   sampling_inv_rate                        28
+  snapshot_bytes                           35
 ";
 
 #[test]

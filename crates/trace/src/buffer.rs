@@ -427,6 +427,110 @@ impl TraceBuffer {
         out
     }
 
+    /// The decoder state at one event boundary (clamped to the captured
+    /// event count) — [`segment_states`](Self::segment_states) for a
+    /// single arbitrary target. Checkpoint/resume uses this to seek a
+    /// resumed analysis to the event its snapshot was taken at without
+    /// decoding the whole prefix.
+    pub fn state_at(&self, event: u64) -> SegmentState {
+        let target = event.min(self.events);
+        let mut cur = SegmentState::default();
+        for c in &self.checkpoints {
+            if c.event > target {
+                break;
+            }
+            if c.event >= cur.event && self.checkpoint_sane(c) {
+                cur = SegmentState {
+                    event: c.event,
+                    accesses: c.accesses,
+                    scopes: c
+                        .open_scopes
+                        .iter()
+                        .map(|&(s, t)| (ScopeId(s), t))
+                        .collect(),
+                    addr_pos: c.addr_pos,
+                    ref_pos: c.ref_pos,
+                    size_pos: c.size_pos,
+                    scope_pos: c.scope_pos,
+                    last_addr: c.last_addr,
+                    last_ref: c.last_ref,
+                };
+            }
+        }
+        self.advance_state(&mut cur, target);
+        cur
+    }
+
+    /// Replays the half-open event range `[state.event, to_event)` into
+    /// `sink` while advancing `state` in place to `to_event` — the fused
+    /// combination of [`replay_segment`](Self::replay_segment) and
+    /// [`state_at`](Self::state_at) that decodes each event exactly once.
+    /// This is the streaming loop behind checkpoint/resume: the caller
+    /// alternates chunks of replay with snapshots of the sink, and `state`
+    /// always describes the boundary the next snapshot will be taken at.
+    /// `to_event` is clamped to the captured event count. Like
+    /// [`replay`](Self::replay), this is the unchecked fast path.
+    pub fn replay_advance<S: TraceSink + ?Sized>(
+        &self,
+        state: &mut SegmentState,
+        to_event: u64,
+        sink: &mut S,
+    ) {
+        let to_event = to_event.min(self.events);
+        if to_event <= state.event {
+            return;
+        }
+        let from_event = state.event;
+        let mut batch = SoaBatch::with_capacity(BATCH);
+        let mut accesses = 0u64;
+        for i in from_event..to_event {
+            let op = (self.ops[(i / 4) as usize] >> ((i % 4) * 2)) & 0b11;
+            match op {
+                OP_LOAD | OP_STORE => {
+                    state.last_addr = state.last_addr.wrapping_add(
+                        unzigzag(get_varint(&self.addr_bytes, &mut state.addr_pos)) as u64,
+                    );
+                    state.last_ref = (i64::from(state.last_ref)
+                        + unzigzag(get_varint(&self.ref_bytes, &mut state.ref_pos)))
+                        as u32;
+                    let size = get_varint(&self.size_bytes, &mut state.size_pos) as u32;
+                    let kind = if op == OP_LOAD {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    };
+                    batch.push(state.last_ref, state.last_addr, size, kind);
+                    state.accesses += 1;
+                    accesses += 1;
+                    if batch.len() == BATCH {
+                        sink.access_soa(&batch);
+                        batch.clear();
+                    }
+                }
+                _ => {
+                    if !batch.is_empty() {
+                        sink.access_soa(&batch);
+                        batch.clear();
+                    }
+                    let scope = ScopeId(get_varint(&self.scope_bytes, &mut state.scope_pos) as u32);
+                    if op == OP_ENTER {
+                        sink.enter(scope);
+                        state.scopes.push((scope, state.accesses));
+                    } else {
+                        sink.exit(scope);
+                        state.scopes.pop();
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            sink.access_soa(&batch);
+        }
+        state.event = to_event;
+        obs::add(obs::Counter::EventsDecoded, to_event - from_event);
+        obs::add(obs::Counter::AccessesDecoded, accesses);
+    }
+
     /// Decodes forward from `cur` until it sits at event `target`,
     /// updating the decoder state and the dynamic scope context in place.
     fn advance_state(&self, cur: &mut SegmentState, target: u64) {
@@ -1055,6 +1159,49 @@ mod tests {
         }
         assert_eq!(stitched.events.len(), full.events.len());
         assert_eq!(stitched.events, full.events);
+    }
+
+    #[test]
+    fn state_at_matches_segment_states_boundaries() {
+        let buf = scoped_workload(2 * CHECKPOINT_EVERY + 1_234);
+        for parts in [1usize, 2, 3, 8] {
+            let states = buf.segment_states(parts);
+            for s in &states {
+                assert_eq!(buf.state_at(s.event), *s, "boundary at event {}", s.event);
+            }
+        }
+        // The final state covers the whole stream, and targets past the
+        // end clamp to it.
+        let end = buf.state_at(buf.events());
+        assert_eq!(end.event, buf.events());
+        assert_eq!(end.accesses, buf.accesses());
+        assert_eq!(buf.state_at(u64::MAX), end);
+    }
+
+    #[test]
+    fn replay_advance_equals_full_replay_and_tracks_state() {
+        let buf = scoped_workload(CHECKPOINT_EVERY + 4_321);
+        let mut full = VecSink::new();
+        buf.replay(&mut full);
+        for chunk in [1u64, 97, 777, 10_000, u64::MAX] {
+            let mut stitched = VecSink::new();
+            let mut state = SegmentState::default();
+            while state.event < buf.events() {
+                let to = state.event.saturating_add(chunk);
+                buf.replay_advance(&mut state, to, &mut stitched);
+                assert_eq!(
+                    state,
+                    buf.state_at(to.min(buf.events())),
+                    "state after advancing to {to} by chunks of {chunk}"
+                );
+            }
+            assert_eq!(stitched.events, full.events, "chunk = {chunk}");
+            // Advancing past the end is a no-op.
+            let before = state.clone();
+            buf.replay_advance(&mut state, u64::MAX, &mut stitched);
+            assert_eq!(state, before);
+            assert_eq!(stitched.events, full.events);
+        }
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //!   after a configurable number of accesses) and [`FailingSink`] (panics
 //!   with a non-string payload), used to prove that a consumer blowing up
 //!   mid-replay neither poisons the shared buffer nor takes down sibling
-//!   analysis threads.
+//!   analysis threads;
+//! * **torn writes** — [`CrashPoint`], an [`io::Write`] adapter that
+//!   forwards a fixed byte budget and then fails, simulating a process
+//!   killed at an arbitrary point while serializing a checkpoint; plus
+//!   [`Corruptor`] methods over raw byte vectors ([`flip_bytes`]
+//!   (Corruptor::flip_bytes), [`flip_header`](Corruptor::flip_header),
+//!   [`truncate_bytes`](Corruptor::truncate_bytes),
+//!   [`trailing_garbage`](Corruptor::trailing_garbage)) for mutating
+//!   on-disk snapshot images the same seeded way buffers are mutated.
 //!
 //! Everything is seeded through [`SplitMix64`], so a failing case is
 //! reproducible from its seed alone. The module ships in the library (not
@@ -24,6 +32,7 @@ use crate::decode::Column;
 use crate::event::{AccessRecord, TraceSink};
 use reuselens_ir::{AccessKind, RefId, ScopeId};
 use reuselens_prng::SplitMix64;
+use std::io;
 
 /// The encoded columns of a [`TraceBuffer`], exposed for forging malformed
 /// buffers in tests.
@@ -189,6 +198,125 @@ impl Corruptor {
         raw.events += extra;
         raw.build()
     }
+
+    /// Returns a copy of `bytes` with `n` random bit flips (possibly
+    /// landing on the same bit, which un-flips it). Empty input is
+    /// returned unchanged. The snapshot-file analogue of
+    /// [`bit_flips`](Self::bit_flips).
+    pub fn flip_bytes(&mut self, bytes: &[u8], n: usize) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        for _ in 0..n {
+            let byte = self.rng.gen_range(0..out.len() as u64) as usize;
+            let bit = self.rng.gen_range(0..8) as u8;
+            out[byte] ^= 1 << bit;
+        }
+        out
+    }
+
+    /// Returns a copy of `bytes` with one random bit flipped inside the
+    /// first `prefix` bytes — aimed at a file's magic/version header,
+    /// where any flip must be rejected outright rather than decoded.
+    /// Input shorter than one byte is returned unchanged.
+    pub fn flip_header(&mut self, bytes: &[u8], prefix: usize) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        let span = prefix.min(out.len());
+        if span == 0 {
+            return out;
+        }
+        let byte = self.rng.gen_range(0..span as u64) as usize;
+        let bit = self.rng.gen_range(0..8) as u8;
+        out[byte] ^= 1 << bit;
+        out
+    }
+
+    /// Returns a strictly shorter random prefix of `bytes` — a torn or
+    /// mid-frame-truncated file. Empty input is returned unchanged.
+    pub fn truncate_bytes(&mut self, bytes: &[u8]) -> Vec<u8> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let keep = self.rng.gen_range(0..bytes.len() as u64) as usize;
+        bytes[..keep].to_vec()
+    }
+
+    /// Returns `bytes` with `n` random garbage bytes appended — a file a
+    /// crashed writer (or a concatenating restore) left with trailing
+    /// junk after an otherwise valid image.
+    pub fn trailing_garbage(&mut self, bytes: &[u8], n: usize) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        for _ in 0..n {
+            out.push(self.rng.gen_range(0..256) as u8);
+        }
+        out
+    }
+}
+
+/// An [`io::Write`] adapter that forwards exactly `fail_after` bytes to
+/// the wrapped writer and then fails every further write — the
+/// deterministic stand-in for a process killed mid-serialization. Driving
+/// `fail_after` across `0..=len` of a serialized image exercises a crash
+/// at **every byte boundary** of the write.
+///
+/// The partial prefix *is* written (like a real torn write), so pointing
+/// this at a file produces exactly the truncated artifacts a recovery
+/// path must reject.
+#[derive(Debug)]
+pub struct CrashPoint<W: io::Write> {
+    inner: W,
+    remaining: u64,
+    crashed: bool,
+}
+
+impl<W: io::Write> CrashPoint<W> {
+    /// Wraps `inner`, allowing `fail_after` bytes through before failing.
+    pub fn new(inner: W, fail_after: u64) -> CrashPoint<W> {
+        CrashPoint {
+            inner,
+            remaining: fail_after,
+            crashed: false,
+        }
+    }
+
+    /// Picks the crash point uniformly in `0..len` from a seed — a
+    /// reproducible random torn write over an image of `len` bytes.
+    pub fn seeded(inner: W, seed: u64, len: u64) -> CrashPoint<W> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let fail_after = if len == 0 { 0 } else { rng.gen_range(0..len) };
+        CrashPoint::new(inner, fail_after)
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Unwraps the inner writer (holding whatever prefix got through).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> io::Write for CrashPoint<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let allowed = (self.remaining).min(buf.len() as u64) as usize;
+        if allowed > 0 {
+            let written = self.inner.write(&buf[..allowed])?;
+            self.remaining -= written as u64;
+            return Ok(written);
+        }
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.crashed = true;
+        Err(io::Error::other("injected crash point"))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Every proper truncation of every non-empty column of `buf`: for a
@@ -314,6 +442,73 @@ mod tests {
         let mut c = Corruptor::new(5);
         assert!(c.bit_flip(&empty).validate().is_ok());
         assert!(c.truncate(&empty).validate().is_ok());
+    }
+
+    #[test]
+    fn byte_vector_mutations_are_deterministic_and_shaped() {
+        let image: Vec<u8> = (0..64u8).collect();
+        let a = Corruptor::new(3).flip_bytes(&image, 4);
+        let b = Corruptor::new(3).flip_bytes(&image, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, image);
+        assert_eq!(a.len(), image.len());
+
+        let h = Corruptor::new(3).flip_header(&image, 8);
+        assert_eq!(h.len(), image.len());
+        assert_ne!(h[..8], image[..8], "flip must land in the header");
+        assert_eq!(h[8..], image[8..]);
+
+        let t = Corruptor::new(3).truncate_bytes(&image);
+        assert!(t.len() < image.len());
+        assert_eq!(t[..], image[..t.len()]);
+
+        let g = Corruptor::new(3).trailing_garbage(&image, 5);
+        assert_eq!(g.len(), image.len() + 5);
+        assert_eq!(g[..image.len()], image[..]);
+
+        // Degenerate inputs survive.
+        assert!(Corruptor::new(1).flip_bytes(&[], 3).is_empty());
+        assert!(Corruptor::new(1).flip_header(&[], 8).is_empty());
+        assert!(Corruptor::new(1).truncate_bytes(&[]).is_empty());
+    }
+
+    #[test]
+    fn crash_point_writes_exact_prefix_then_fails() {
+        use std::io::Write;
+        let image: Vec<u8> = (0..32u8).collect();
+        for fail_after in 0..=image.len() as u64 {
+            let mut w = CrashPoint::new(Vec::new(), fail_after);
+            let result = w.write_all(&image);
+            if fail_after >= image.len() as u64 {
+                result.expect("budget covers the image");
+                assert!(!w.crashed());
+            } else {
+                assert!(result.is_err());
+                assert!(w.crashed());
+            }
+            let written = w.into_inner();
+            let kept = fail_after.min(image.len() as u64) as usize;
+            assert_eq!(written[..], image[..kept]);
+        }
+        // Once crashed, later writes keep failing.
+        let mut w = CrashPoint::new(Vec::new(), 1);
+        assert!(w.write_all(&[1, 2]).is_err());
+        assert!(w.write_all(&[3]).is_err());
+        assert_eq!(w.into_inner(), vec![1]);
+    }
+
+    #[test]
+    fn seeded_crash_point_is_reproducible() {
+        use std::io::Write;
+        let image: Vec<u8> = (0..50u8).collect();
+        let run = |seed: u64| {
+            let mut w = CrashPoint::seeded(Vec::new(), seed, image.len() as u64);
+            let _ = w.write_all(&image);
+            w.into_inner().len()
+        };
+        assert_eq!(run(9), run(9));
+        let distinct: std::collections::HashSet<usize> = (0..32).map(run).collect();
+        assert!(distinct.len() > 4, "seeds must spread the crash point");
     }
 
     #[test]

@@ -43,7 +43,32 @@ cargo test -q -p reuselens-bench --lib
 cargo test -q -p reuselens-core --test sampling_accuracy
 cargo test -q -p reuselens-cache --test sampled_miss_bounds
 
+# Crash-safety suite: bit-identical checkpoint/resume, recovery from a
+# snapshot torn at every byte boundary, typed rejection of corrupted
+# files, and checkpoint-counter reconciliation against the files on disk.
+cargo test -q -p reuselens-core --test checkpoint_resume
+
 cargo clippy --workspace --all-targets --no-deps -- -D warnings
+
+# Kill-and-resume CLI smoke: a checkpointed run whose newest snapshot is
+# then torn mid-file must resume to a profile byte-identical to a plain
+# run's. Exercises --checkpoint-dir/--checkpoint-every/--resume end to
+# end, including fallback past the torn file.
+CKPT_TMP="target/verify-ckpt"
+rm -rf "$CKPT_TMP" && mkdir -p "$CKPT_TMP"
+./target/release/reuselens kernel stream \
+    --save-profile "$CKPT_TMP/plain.rlp" >/dev/null
+./target/release/reuselens kernel stream \
+    --checkpoint-dir "$CKPT_TMP/snaps" --checkpoint-every 10000 \
+    --save-profile "$CKPT_TMP/ckpt.rlp" >/dev/null
+newest=$(ls "$CKPT_TMP/snaps"/*.rlsnap | sort | tail -n 1)
+head -c 13 "$newest" > "$newest.torn" && mv "$newest.torn" "$newest"
+./target/release/reuselens kernel stream \
+    --checkpoint-dir "$CKPT_TMP/snaps" --checkpoint-every 10000 --resume \
+    --save-profile "$CKPT_TMP/resumed.rlp" >/dev/null
+cmp "$CKPT_TMP/plain.rlp" "$CKPT_TMP/ckpt.rlp"
+cmp "$CKPT_TMP/plain.rlp" "$CKPT_TMP/resumed.rlp"
+rm -rf "$CKPT_TMP"
 
 # Informational perf smoke: exercises the bench-runner end to end and
 # refreshes a throwaway snapshot, but never gates on machine speed (no

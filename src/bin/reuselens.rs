@@ -28,15 +28,16 @@ use reuselens::advisor::{describe, detect_time_loops, Advisor};
 use reuselens::cache::MemoryHierarchy;
 use reuselens::cache::{miss_curve, predict_level};
 use reuselens::core::{
-    measure_spatial, read_profiles, write_profiles, AnalyzeOptions, ContextAnalyzer,
-    ReplayThreads, SamplingConfig, SavedProfiles,
+    measure_spatial, read_profiles, write_profiles, AnalyzeOptions, CheckpointOptions,
+    ContextAnalyzer, ReplayThreads, SamplingConfig, SavedProfiles,
 };
 use reuselens::model::ProfileModel;
 use reuselens::ir::Program;
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::metrics::{
     format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
-    format_spatial, format_summary, run_locality_analysis_opts, to_xml, LocalityAnalysis,
+    format_spatial, format_summary, run_locality_analysis_checkpointed,
+    run_locality_analysis_opts, to_xml, LocalityAnalysis,
 };
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig, GtcTransforms};
 use reuselens::workloads::kernels;
@@ -87,6 +88,12 @@ COMMON OPTIONS:
                     stitch the results — bit-identical to serial replay,
                     faster on large traces. Ignored for adaptive
                     sampling, which is inherently sequential
+    --checkpoint-dir <DIR>  crash-safe analysis: snapshot each grain's
+                    analyzer state into DIR so an interrupted run can be
+                    resumed. Results are bit-identical to a plain run
+    --checkpoint-every <N>  events between snapshots   [default: 1000000]
+    --resume        continue from the newest valid snapshot in
+                    --checkpoint-dir instead of replaying from the start
     --metrics <PATH> write pipeline metrics (Prometheus text) to PATH
                     ('-' for stdout) and print a per-stage timing
                     footer to stderr
@@ -269,8 +276,34 @@ fn run(args: &[String]) -> Result<(), String> {
         replay_threads,
         ..AnalyzeOptions::default()
     };
-    let la = run_locality_analysis_opts(&w.program, &hierarchy, w.index_arrays.clone(), &opts)
-        .map_err(|e| e.to_string())?;
+    let la = match flags.value("--checkpoint-dir") {
+        Some(dir) => {
+            let every: u64 = flags.parsed("--checkpoint-every", 1_000_000u64)?;
+            if every == 0 {
+                return Err("--checkpoint-every must be at least 1".into());
+            }
+            let ckpt = CheckpointOptions {
+                dir: dir.into(),
+                every,
+                resume: flags.flag("--resume"),
+            };
+            run_locality_analysis_checkpointed(
+                &w.program,
+                &hierarchy,
+                w.index_arrays.clone(),
+                &opts,
+                &ckpt,
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => {
+            if flags.flag("--resume") {
+                return Err("--resume requires --checkpoint-dir".into());
+            }
+            run_locality_analysis_opts(&w.program, &hierarchy, w.index_arrays.clone(), &opts)
+                .map_err(|e| e.to_string())?
+        }
+    };
 
     if let Some(path) = flags.value("--save-profile") {
         let size: f64 = flags.parsed("--size", default_size(workload, &flags)?)?;
@@ -385,7 +418,8 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
             skip = matches!(
                 a.as_str(),
                 "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline"
-                    | "--sample-rate" | "--replay-threads"
+                    | "--sample-rate" | "--replay-threads" | "--checkpoint-dir"
+                    | "--checkpoint-every"
             );
             continue;
         }

@@ -8,8 +8,9 @@ use reuselens::cache::{
 };
 use reuselens::core::{
     analyze_program_degraded, analyze_program_parallel, capture_program, AnalysisBudget,
-    AnalyzeOptions, GrainError,
+    AnalyzeOptions, CheckpointOptions, GrainError, SnapshotError,
 };
+use reuselens::metrics::{run_locality_analysis_checkpointed, run_locality_analysis_opts};
 use reuselens::trace::fault::Corruptor;
 use reuselens::trace::VecSink;
 use reuselens::workloads::kernels::random_gather;
@@ -143,6 +144,93 @@ fn captured_workload_validates_and_corruption_is_rejected() {
         let flipped = corruptor.bit_flip(&buffer);
         let _ = flipped.try_replay(&mut VecSink::new());
     }
+}
+
+/// The crash-safe pipeline through the facade: a checkpointed analysis
+/// of a real workload equals the plain pipeline, and after every
+/// snapshot file in the directory is mutated (bit flips, truncation,
+/// trailing garbage) a resume still equals it — corrupted snapshots are
+/// fallback material, never fatal and never silently wrong.
+#[test]
+fn checkpointed_pipeline_survives_snapshot_corruption() {
+    let w = random_gather(1 << 10, 1 << 12, 2, 7);
+    let h = MemoryHierarchy::itanium2_scaled(16);
+    let opts = AnalyzeOptions::default();
+    let plain = run_locality_analysis_opts(&w.program, &h, w.index_arrays.clone(), &opts).unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "reuselens-fault-tolerance-ckpt-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let ckpt = CheckpointOptions {
+        dir: dir.clone(),
+        every: 1500,
+        resume: false,
+    };
+    let first =
+        run_locality_analysis_checkpointed(&w.program, &h, w.index_arrays.clone(), &opts, &ckpt)
+            .unwrap();
+    assert_eq!(plain.analysis.profiles, first.analysis.profiles);
+
+    // Mutate every snapshot on disk, a different way each time.
+    let mut corruptor = Corruptor::new(0x0bad_c0de);
+    let mut mutated = 0usize;
+    for (i, entry) in std::fs::read_dir(&dir).unwrap().flatten().enumerate() {
+        let bytes = std::fs::read(entry.path()).unwrap();
+        let bad = match i % 3 {
+            0 => corruptor.flip_bytes(&bytes, 2),
+            1 => corruptor.truncate_bytes(&bytes),
+            _ => corruptor.trailing_garbage(&bytes, 9),
+        };
+        std::fs::write(entry.path(), bad).unwrap();
+        mutated += 1;
+    }
+    assert!(mutated > 0, "checkpointed run wrote no snapshots to corrupt");
+    let ckpt = CheckpointOptions {
+        dir: dir.clone(),
+        every: 1500,
+        resume: true,
+    };
+    let resumed =
+        run_locality_analysis_checkpointed(&w.program, &h, w.index_arrays.clone(), &opts, &ckpt)
+            .unwrap();
+    assert_eq!(plain.analysis.profiles, resumed.analysis.profiles);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Checkpoint *infrastructure* failure — a checkpoint directory path
+/// occupied by a regular file — surfaces as a typed
+/// `ReuseLensError::Snapshot`, not a panic or a silent fallback.
+#[test]
+fn unwritable_checkpoint_dir_is_a_snapshot_error() {
+    let w = random_gather(1 << 8, 1 << 10, 2, 7);
+    let h = MemoryHierarchy::itanium2_scaled(16);
+    let path = std::env::temp_dir().join(format!(
+        "reuselens-fault-tolerance-notadir-{}",
+        std::process::id()
+    ));
+    std::fs::write(&path, b"occupied").unwrap();
+    let ckpt = CheckpointOptions {
+        dir: path.clone(),
+        every: 100,
+        resume: false,
+    };
+    let err = run_locality_analysis_checkpointed(
+        &w.program,
+        &h,
+        w.index_arrays.clone(),
+        &AnalyzeOptions::default(),
+        &ckpt,
+    )
+    .unwrap_err();
+    match &err {
+        ReuseLensError::Snapshot(SnapshotError::Io { op, .. }) => {
+            assert_eq!(*op, "create checkpoint directory");
+        }
+        other => panic!("expected Snapshot(Io), got {other}"),
+    }
+    assert!(err.to_string().contains("checkpoint failed"));
+    std::fs::remove_file(&path).ok();
 }
 
 /// Every error in the taxonomy converts into `ReuseLensError` via `?`.
