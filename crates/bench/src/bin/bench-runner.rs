@@ -43,9 +43,10 @@ use reuselens::core::{
 };
 use reuselens::obs::{self, MetricsRecorder};
 use reuselens::workloads::{gtc, sweep3d, BuiltWorkload};
+use reuselens::statics::estimate_profiles;
 use reuselens_bench::report::{
     diff, BenchReport, BenchRun, StageSeconds, CHECKPOINT_OVERHEAD_CEILING,
-    SINGLE_GRAIN_SPEEDUP_FLOOR,
+    ESTIMATOR_SPEEDUP_FLOOR, SINGLE_GRAIN_SPEEDUP_FLOOR,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -389,6 +390,29 @@ fn main() -> ExitCode {
             report.single_grain_speedup_ratio = Some(ratio);
         }
 
+        // Estimator rung on the first (Sweep3D) workload: the zero-trace
+        // symbolic estimator against the full-trace exact replay it
+        // substitutes for, over the same grain set. Replay-only wall (no
+        // capture) in the numerator keeps the comparison conservative.
+        if report.estimator_speedup_ratio.is_none() {
+            let grains = &GRAIN_LADDER[..2];
+            let dynamic = best_replay_wall(&w.program, &buffer, grains, reps);
+            let estimate = (0..reps.max(1))
+                .map(|_| {
+                    let t = Instant::now();
+                    std::hint::black_box(estimate_profiles(&w.program, &w.index_arrays, grains));
+                    t.elapsed()
+                })
+                .min()
+                .unwrap_or(Duration::ZERO);
+            let ratio = dynamic.as_secs_f64() / estimate.as_secs_f64().max(f64::MIN_POSITIVE);
+            eprintln!(
+                "estimator speedup ratio: {ratio:.0}x vs full-trace replay \
+                 (target >= {ESTIMATOR_SPEEDUP_FLOOR}x on full runs)"
+            );
+            report.estimator_speedup_ratio = Some(ratio);
+        }
+
         // Checkpoint overhead on the first (Sweep3D) workload: the same
         // single-grain serial replay plain and through the crash-safe
         // checkpointed engine snapshotting four times over the stream.
@@ -440,6 +464,15 @@ fn main() -> ExitCode {
                 eprintln!(
                     "checkpoint overhead {ratio:.3}x is above the \
                      {CHECKPOINT_OVERHEAD_CEILING}x ceiling"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(ratio) = report.estimator_speedup_ratio {
+            if ratio < ESTIMATOR_SPEEDUP_FLOOR {
+                eprintln!(
+                    "estimator speedup {ratio:.0}x is below the \
+                     {ESTIMATOR_SPEEDUP_FLOOR}x floor"
                 );
                 return ExitCode::FAILURE;
             }

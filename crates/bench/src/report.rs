@@ -48,6 +48,12 @@
 //!   until measured. The bench-runner gate fails full (non-smoke) runs
 //!   above the ceiling; the ratio is an absolute bar, not diffed against
 //!   the baseline (like `obs_overhead_ratio`).
+//! * `estimator_speedup_ratio` is full-trace replay wall time divided by
+//!   the zero-trace symbolic estimator's wall time over the same grain
+//!   set on Sweep3D (target ≥ [`ESTIMATOR_SPEEDUP_FLOOR`]); `null` until
+//!   measured. The bench-runner gate fails full (non-smoke) runs below
+//!   the floor; like `checkpoint_overhead_ratio` it is an absolute bar,
+//!   not diffed against the baseline.
 //! * `runs[]` each hold one workload × grain-count measurement;
 //!   `stage_seconds` is the pipeline stage wall-time breakdown from the
 //!   run's `MetricsRecorder` snapshot and `events` counts events replayed
@@ -86,6 +92,11 @@ pub const SINGLE_GRAIN_SPEEDUP_FLOOR: f64 = 5.0;
 /// replaying with periodic snapshots must cost at most 10% over a plain
 /// serial replay of the same grain.
 pub const CHECKPOINT_OVERHEAD_CEILING: f64 = 1.10;
+
+/// Acceptance floor for `estimator_speedup_ratio` on full bench runs: the
+/// symbolic estimator's whole value proposition is skipping the trace, so
+/// it must beat full-trace replay on Sweep3D by at least this factor.
+pub const ESTIMATOR_SPEEDUP_FLOOR: f64 = 100.0;
 
 /// Wall seconds of one pipeline stage across a run, both ways of adding
 /// spans up (see the module docs on the `stage_seconds` schema change).
@@ -145,6 +156,10 @@ pub struct BenchReport {
     /// Checkpointed/plain serial replay wall-time ratio (see the module
     /// docs); gated against [`CHECKPOINT_OVERHEAD_CEILING`] on full runs.
     pub checkpoint_overhead_ratio: Option<f64>,
+    /// Full-trace replay over zero-trace symbolic estimation wall-time
+    /// ratio (see the module docs); gated against
+    /// [`ESTIMATOR_SPEEDUP_FLOOR`] on full runs.
+    pub estimator_speedup_ratio: Option<f64>,
 }
 
 impl BenchReport {
@@ -157,6 +172,7 @@ impl BenchReport {
             sampled_speedup_ratio: None,
             single_grain_speedup_ratio: None,
             checkpoint_overhead_ratio: None,
+            estimator_speedup_ratio: None,
         }
     }
 
@@ -243,6 +259,13 @@ impl BenchReport {
                     None => Json::Null,
                 },
             ),
+            (
+                "estimator_speedup_ratio".into(),
+                match self.estimator_speedup_ratio {
+                    Some(r) => Json::Num(r),
+                    None => Json::Null,
+                },
+            ),
             ("runs".into(), Json::Arr(runs)),
             ("counters".into(), Json::Obj(counters)),
         ])
@@ -322,6 +345,9 @@ impl BenchReport {
                 .and_then(Json::as_f64),
             checkpoint_overhead_ratio: doc
                 .get("checkpoint_overhead_ratio")
+                .and_then(Json::as_f64),
+            estimator_speedup_ratio: doc
+                .get("estimator_speedup_ratio")
                 .and_then(Json::as_f64),
         })
     }
@@ -466,6 +492,7 @@ mod tests {
             sampled_speedup_ratio: Some(4.2),
             single_grain_speedup_ratio: Some(6.1),
             checkpoint_overhead_ratio: Some(1.03),
+            estimator_speedup_ratio: Some(240.0),
         }
     }
 
@@ -543,6 +570,21 @@ mod tests {
         );
         assert_eq!(parsed.single_grain_speedup_ratio, None);
         assert_eq!(parsed.checkpoint_overhead_ratio, None);
+        assert_eq!(parsed.estimator_speedup_ratio, None);
+    }
+
+    #[test]
+    fn estimator_speedup_ratio_round_trips_and_is_not_diffed() {
+        let mut base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
+        base.estimator_speedup_ratio = Some(350.0);
+        let parsed = BenchReport::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed.estimator_speedup_ratio, Some(350.0));
+        // Absolute gate, not a baseline diff: a big swing in the measured
+        // ratio must not regress the diff (the bench-runner's floor check
+        // owns that failure on full runs).
+        let mut cur = base.clone();
+        cur.estimator_speedup_ratio = Some(120.0);
+        assert!(!diff(&base, &cur).regressed);
     }
 
     #[test]

@@ -912,6 +912,48 @@ mod tests {
         assert_eq!(total, SMALL_MAP_LIMIT as u64 + 4);
     }
 
+    /// `record_n(s, c, d, n)` must be bit-identical to `n` repeated
+    /// `record(s, c, d)` calls under a randomized interleaving of pattern
+    /// keys — across the linear-scan regime, the hash-index regime, and
+    /// the transition between them.
+    #[test]
+    fn record_n_is_bit_identical_to_repeated_record() {
+        let mut rng = reuselens_prng::SplitMix64::seed_from_u64(0x4156);
+        for _case in 0..64 {
+            let mut batched = SinkPatterns::default();
+            let mut unit = SinkPatterns::default();
+            // Enough distinct carriers to cross SMALL_MAP_LIMIT in some
+            // cases and stay under it in others.
+            let carriers = rng.gen_range(1..(2 * SMALL_MAP_LIMIT as u64 + 1)) as u32;
+            let ops = rng.gen_range(1..60);
+            for _ in 0..ops {
+                let s = ScopeId(rng.gen_range(0..3) as u32);
+                let c = ScopeId(rng.gen_range(0..carriers as u64) as u32);
+                let d = rng.gen_range(0..1 << 20);
+                let n = rng.gen_range(0..6);
+                batched.record_n(s, c, d, n);
+                for _ in 0..n {
+                    unit.record(s, c, d);
+                }
+            }
+            // record_n(_, _, _, 0) still creates the pattern entry the way
+            // the first unit record would not — which also shifts later
+            // insertion order — so compare the non-empty histograms (what
+            // `finish()` exports) keyed by pattern.
+            let live = |sp: &SinkPatterns| {
+                let mut v: Vec<_> = sp
+                    .entries
+                    .iter()
+                    .filter(|(_, _, h)| !h.is_empty())
+                    .map(|(s, c, h)| (s.index(), c.index(), h.clone()))
+                    .collect();
+                v.sort_by_key(|&(s, c, _)| (s, c));
+                v
+            };
+            assert_eq!(live(&batched), live(&unit));
+        }
+    }
+
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_block_panics() {

@@ -393,6 +393,48 @@ mod tests {
         assert_eq!(h.to_string(), "hist[n=3 1..2:2 2..3:1]");
     }
 
+    /// The batched path must be indistinguishable from the unit path:
+    /// `add_n(d, n)` and `n` repeated `add(d)` calls interleaved in any
+    /// order produce bit-identical bins and totals. The sampled analyzer
+    /// and the static estimator both lean on this equivalence.
+    #[test]
+    fn add_n_is_bit_identical_to_repeated_add() {
+        let mut rng = SplitMix64::seed_from_u64(0x4155);
+        for _case in 0..64 {
+            let mut batched = Histogram::new();
+            let mut unit = Histogram::new();
+            let ops = rng.gen_range(1..40);
+            for _ in 0..ops {
+                let d = rng.gen_range(0..1 << 34);
+                let n = rng.gen_range(0..9); // include n == 0
+                batched.add_n(d, n);
+                for _ in 0..n {
+                    unit.add(d);
+                }
+            }
+            assert_eq!(batched, unit);
+            assert_eq!(batched.total(), unit.total());
+            assert_eq!(batched.bin_count(), unit.bin_count());
+            assert!(batched.iter().eq(unit.iter()), "bin contents diverged");
+            // The equivalence must survive the hot-bin fast path: replay
+            // the same distances in sorted order (long same-bin runs).
+            let mut sorted_b = Histogram::new();
+            let mut sorted_u = Histogram::new();
+            let mut ds: Vec<(u64, u64)> = Vec::new();
+            for _ in 0..ops {
+                ds.push((rng.gen_range(0..4096), rng.gen_range(1..5)));
+            }
+            ds.sort_unstable();
+            for &(d, n) in &ds {
+                sorted_b.add_n(d, n);
+                for _ in 0..n {
+                    sorted_u.add(d);
+                }
+            }
+            assert_eq!(sorted_b, sorted_u);
+        }
+    }
+
     #[test]
     fn expected_misses_applies_probability() {
         let h: Histogram = [100u64; 10].into_iter().collect();

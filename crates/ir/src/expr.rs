@@ -153,6 +153,54 @@ impl Expr {
         }
     }
 
+    /// Rewrites the expression, replacing each `Var(v)` for which `lookup`
+    /// returns an expression with (a clone of) that expression. Variables
+    /// with no binding are left in place. Substitution is *not* recursive:
+    /// the replacement expression is inserted as-is, so callers that keep an
+    /// environment of scalar bindings should store already-substituted
+    /// expressions in it.
+    pub fn substitute_vars<F>(&self, lookup: &F) -> Expr
+    where
+        F: Fn(VarId) -> Option<Expr>,
+    {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Var(v) => lookup(*v).unwrap_or(Expr::Var(*v)),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Mod(a, b) => Expr::Mod(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Min(a, b) => Expr::Min(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Max(a, b) => Expr::Max(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Expr::Load(arr, idx) => Expr::Load(
+                *arr,
+                idx.iter().map(|e| e.substitute_vars(lookup)).collect(),
+            ),
+        }
+    }
+
     /// Collects every index array the expression loads from.
     pub fn collect_loads(&self, out: &mut Vec<ArrayId>) {
         match self {
@@ -317,6 +365,32 @@ impl Pred {
     pub fn or(self, other: Pred) -> Pred {
         Pred::Or(Box::new(self), Box::new(other))
     }
+
+    /// Rewrites every expression inside the predicate with
+    /// [`Expr::substitute_vars`].
+    pub fn substitute_vars<F>(&self, lookup: &F) -> Pred
+    where
+        F: Fn(VarId) -> Option<Expr>,
+    {
+        match self {
+            Pred::True => Pred::True,
+            Pred::Le(a, b) => Pred::Le(a.substitute_vars(lookup), b.substitute_vars(lookup)),
+            Pred::Lt(a, b) => Pred::Lt(a.substitute_vars(lookup), b.substitute_vars(lookup)),
+            Pred::Ge(a, b) => Pred::Ge(a.substitute_vars(lookup), b.substitute_vars(lookup)),
+            Pred::Gt(a, b) => Pred::Gt(a.substitute_vars(lookup), b.substitute_vars(lookup)),
+            Pred::Eq(a, b) => Pred::Eq(a.substitute_vars(lookup), b.substitute_vars(lookup)),
+            Pred::Ne(a, b) => Pred::Ne(a.substitute_vars(lookup), b.substitute_vars(lookup)),
+            Pred::And(a, b) => Pred::And(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Pred::Or(a, b) => Pred::Or(
+                Box::new(a.substitute_vars(lookup)),
+                Box::new(b.substitute_vars(lookup)),
+            ),
+            Pred::Not(a) => Pred::Not(Box::new(a.substitute_vars(lookup))),
+        }
+    }
 }
 
 impl fmt::Display for Pred {
@@ -426,6 +500,25 @@ mod tests {
             .or(Pred::True)
             .eval(&c));
         assert!(Pred::Not(Box::new(Pred::Eq(i, Expr::c(9)))).eval(&c));
+    }
+
+    #[test]
+    fn substitute_vars_rewrites_bound_vars_only() {
+        let c = ctx();
+        // e = v2 * 8 where v2 is unbound in the ctx; substitute v2 := v0 + 1.
+        let e = Expr::var(VarId(2)) * 8;
+        let s = e.substitute_vars(&|v| (v == VarId(2)).then(|| Expr::var(VarId(0)) + 1));
+        assert_eq!(s.eval(&c), 48);
+        // Unbound vars survive untouched, including inside load subscripts.
+        let l = Expr::load(ArrayId(0), vec![Expr::var(VarId(2))]);
+        let ls = l.substitute_vars(&|v| (v == VarId(2)).then(|| Expr::c(1)));
+        assert_eq!(ls.eval(&c), 20);
+        let keep = Expr::var(VarId(1)).substitute_vars(&|_| None);
+        assert_eq!(keep, Expr::var(VarId(1)));
+        // Predicates rewrite both sides.
+        let p = Pred::Lt(Expr::var(VarId(2)), Expr::c(3))
+            .substitute_vars(&|v| (v == VarId(2)).then(|| Expr::c(2)));
+        assert!(p.eval(&c));
     }
 
     #[test]

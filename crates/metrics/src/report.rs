@@ -6,9 +6,9 @@ use reuselens_core::{
     analyze_buffer_checkpointed, analyze_buffer_with, capture_program, AnalysisResult,
     AnalyzeOptions, CheckpointOptions, SamplingConfig,
 };
-use reuselens_ir::{ArrayId, Program};
+use reuselens_ir::{ArrayId, Program, RefId};
 use reuselens_obs as obs;
-use reuselens_static::StaticAnalysis;
+use reuselens_static::{estimate_profiles, StaticAnalysis};
 use reuselens_trace::ExecError;
 
 /// Everything the toolchain produces for one program on one hierarchy:
@@ -174,6 +174,42 @@ pub fn run_locality_analysis_checkpointed(
         .into_strict()?;
     let analysis = AnalysisResult { profiles, exec };
     Ok(attribute_analysis(program, hierarchy, analysis))
+}
+
+/// A [`LocalityAnalysis`] produced by the zero-trace symbolic estimator,
+/// with the estimator's per-reference coverage bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EstimateRun {
+    /// The full analysis, shaped exactly like the dynamic pipeline's.
+    pub analysis: LocalityAnalysis,
+    /// References modeled symbolically (affine subscripts).
+    pub covered: Vec<RefId>,
+    /// References modeled with the irregular/indirect fallback.
+    pub fallback: Vec<RefId>,
+}
+
+/// The static counterpart of [`run_locality_analysis`]: predicts every
+/// per-granularity profile symbolically from the loop structure —
+/// executing **zero trace events** — then runs the identical miss
+/// prediction / attribution back half. `index_arrays` is the same input
+/// data the executor would be seeded with; the estimator only reads it
+/// to resolve data-dependent loop bounds and guards.
+pub fn run_locality_estimate(
+    program: &Program,
+    hierarchy: &MemoryHierarchy,
+    index_arrays: &[(ArrayId, Vec<i64>)],
+) -> EstimateRun {
+    let grains = hierarchy.required_granularities();
+    let est = estimate_profiles(program, index_arrays, &grains);
+    let analysis = AnalysisResult {
+        profiles: est.profiles,
+        exec: est.exec,
+    };
+    EstimateRun {
+        analysis: attribute_analysis(program, hierarchy, analysis),
+        covered: est.covered,
+        fallback: est.fallback,
+    }
 }
 
 /// The shared back half of the pipeline: miss prediction, static

@@ -178,8 +178,9 @@ fn fit_subset(xs: &[f64], ys: &[f64], subset: &[Basis]) -> Option<Fit> {
 ///
 /// # Panics
 ///
-/// Panics if `xs` and `ys` differ in length or fewer than 2 points are
-/// given.
+/// Panics if `xs` and `ys` differ in length, fewer than 2 points are
+/// given, or any training value is non-finite (a NaN or infinity would
+/// silently poison every coefficient of the least-squares solve).
 ///
 /// # Examples
 ///
@@ -194,6 +195,10 @@ fn fit_subset(xs: &[f64], ys: &[f64], subset: &[Basis]) -> Option<Fit> {
 pub fn fit_scaling(xs: &[f64], ys: &[f64], max_shape_terms: usize) -> Fit {
     assert_eq!(xs.len(), ys.len(), "xs and ys must pair up");
     assert!(xs.len() >= 2, "need at least two training points");
+    assert!(
+        xs.iter().chain(ys).all(|v| v.is_finite()),
+        "fit_scaling requires finite training data"
+    );
     let shapes: Vec<Basis> = ALL_BASIS[1..].to_vec();
     let mut best: Option<Fit> = None;
     let mut consider = |fit: Option<Fit>| {
@@ -275,6 +280,15 @@ mod tests {
             (predicted - 62_500.0).abs() / 62_500.0 < 0.01,
             "predicted {predicted}"
         );
+    }
+
+    /// Regression: a NaN anywhere in the training data used to flow
+    /// through the normal equations and come out as a NaN-coefficient
+    /// "best" fit; the precondition is now checked up front.
+    #[test]
+    #[should_panic(expected = "finite training data")]
+    fn fit_scaling_rejects_non_finite_input() {
+        let _ = fit_scaling(&[8.0, 16.0, 32.0], &[1.0, f64::NAN, 4.0], 2);
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct HistogramModel {
 
 impl HistogramModel {
     /// Fits a family of histograms measured at the given problem sizes.
-    /// Returns `None` when fewer than two sizes have data.
+    /// Returns `None` when fewer than two sizes are given, when any size
+    /// is non-finite, or when the sizes are not strictly increasing — a
+    /// duplicated or out-of-order size makes the scaling solve degenerate
+    /// and used to yield a silently garbage fit.
     ///
     /// # Panics
     ///
@@ -30,7 +33,7 @@ impl HistogramModel {
     pub fn fit(sizes: &[f64], hists: &[&Histogram], nslices: usize) -> Option<HistogramModel> {
         assert_eq!(sizes.len(), hists.len(), "one histogram per size");
         assert!(nslices > 0, "need at least one slice");
-        if sizes.len() < 2 {
+        if sizes.len() < 2 || !sizes_are_valid(sizes) {
             return None;
         }
         let counts: Vec<f64> = hists.iter().map(|h| h.total() as f64).collect();
@@ -71,6 +74,12 @@ impl HistogramModel {
     }
 }
 
+/// True when every size is finite and the sequence strictly increases —
+/// the precondition for a meaningful scaling fit.
+fn sizes_are_valid(sizes: &[f64]) -> bool {
+    sizes.iter().all(|s| s.is_finite()) && sizes.windows(2).all(|w| w[0] < w[1])
+}
+
 /// Scaling model of a whole reuse profile: one [`HistogramModel`] per
 /// pattern plus fits of per-reference cold counts.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,10 +102,16 @@ impl ProfileModel {
     /// # Panics
     ///
     /// Panics if fewer than two profiles are given, sizes and profiles
-    /// differ in length, or block sizes differ.
+    /// differ in length, block sizes differ, or `sizes` is not a finite
+    /// strictly-increasing sequence (callers sort and deduplicate their
+    /// measurements; fitting a degenerate sequence would produce garbage).
     pub fn fit(sizes: &[f64], profiles: &[&ReuseProfile], nslices: usize) -> ProfileModel {
         assert_eq!(sizes.len(), profiles.len(), "one profile per size");
         assert!(sizes.len() >= 2, "need at least two training sizes");
+        assert!(
+            sizes_are_valid(sizes),
+            "training sizes must be finite and strictly increasing, got {sizes:?}"
+        );
         let block_size = profiles[0].block_size;
         assert!(
             profiles.iter().all(|p| p.block_size == block_size),
@@ -263,6 +278,34 @@ mod tests {
     fn fit_requires_two_sizes() {
         let h = Histogram::new();
         assert!(HistogramModel::fit(&[8.0], &[&h], 4).is_none());
+    }
+
+    /// Regression: non-finite or non-increasing size sequences used to
+    /// feed straight into the least-squares solve and come back as a
+    /// garbage (often NaN-coefficient) fit; now they are rejected.
+    #[test]
+    fn fit_rejects_degenerate_size_sequences() {
+        let mk = |n: u64| {
+            let mut h = Histogram::new();
+            h.add_n(n, n);
+            h
+        };
+        let (h1, h2, h3) = (mk(100), mk(200), mk(400));
+        let hists = [&h1, &h2, &h3];
+        assert!(HistogramModel::fit(&[100.0, f64::NAN, 400.0], &hists, 4).is_none());
+        assert!(HistogramModel::fit(&[100.0, f64::INFINITY, 400.0], &hists, 4).is_none());
+        assert!(HistogramModel::fit(&[400.0, 200.0, 100.0], &hists, 4).is_none());
+        assert!(HistogramModel::fit(&[100.0, 100.0, 400.0], &hists, 4).is_none());
+        // The well-formed sequence still fits.
+        assert!(HistogramModel::fit(&[100.0, 200.0, 400.0], &hists, 4).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn profile_fit_panics_on_unordered_sizes() {
+        let p1 = stream(1024);
+        let p2 = stream(2048);
+        let _ = ProfileModel::fit(&[2048.0, 1024.0], &[&p1, &p2], 8);
     }
 
     #[test]

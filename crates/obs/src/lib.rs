@@ -97,11 +97,14 @@ pub enum Stage {
     /// Serializing and writing one crash-safety snapshot of a grain's
     /// analyzer state (nested inside that grain's [`Stage::Replay`] span).
     Checkpoint,
+    /// One symbolic reuse-profile estimation pass (the zero-trace
+    /// replacement for capture + replay).
+    Estimate,
 }
 
 impl Stage {
     /// Every stage, in dense-index order (used for metric storage).
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
@@ -109,18 +112,21 @@ impl Stage {
         Stage::Sweep,
         Stage::Report,
         Stage::Checkpoint,
+        Stage::Estimate,
     ];
 
     /// Every stage in the order the pipeline executes them:
-    /// capture → decode → replay → partition → checkpoint → sweep →
-    /// report. Exporters print stages in this order, independent of the
-    /// enum's index layout.
-    pub const PIPELINE_ORDER: [Stage; 7] = [
+    /// capture → decode → replay → partition → checkpoint → estimate →
+    /// sweep → report (estimation replaces the first five stages on the
+    /// static path, so it sorts just before sweep). Exporters print
+    /// stages in this order, independent of the enum's index layout.
+    pub const PIPELINE_ORDER: [Stage; 8] = [
         Stage::Capture,
         Stage::Decode,
         Stage::Replay,
         Stage::Partition,
         Stage::Checkpoint,
+        Stage::Estimate,
         Stage::Sweep,
         Stage::Report,
     ];
@@ -135,6 +141,7 @@ impl Stage {
             Stage::Sweep => "sweep",
             Stage::Report => "report",
             Stage::Checkpoint => "checkpoint",
+            Stage::Estimate => "estimate",
         }
     }
 
@@ -198,11 +205,17 @@ pub enum Counter {
     /// Snapshot files rejected during resume (torn, corrupted,
     /// version-skewed, or mismatched with the trace).
     CheckpointsRejected,
+    /// References the symbolic estimator covered with a closed-form
+    /// reuse prediction.
+    StaticRefsCovered,
+    /// References the symbolic estimator could not classify (irregular
+    /// or indirect subscripts) and modeled with the fallback scatter.
+    StaticRefsFallback,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::EventsCaptured,
         Counter::AccessesCaptured,
         Counter::BytesEncoded,
@@ -226,6 +239,8 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::CheckpointsResumed,
         Counter::CheckpointsRejected,
+        Counter::StaticRefsCovered,
+        Counter::StaticRefsFallback,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -255,6 +270,8 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::CheckpointsResumed => "checkpoints_resumed",
             Counter::CheckpointsRejected => "checkpoints_rejected",
+            Counter::StaticRefsCovered => "static_refs_covered",
+            Counter::StaticRefsFallback => "static_refs_fallback",
         }
     }
 
@@ -295,6 +312,12 @@ impl Counter {
             Counter::CheckpointsResumed => "Grains resumed from a validated snapshot.",
             Counter::CheckpointsRejected => {
                 "Snapshot files rejected during resume (torn, corrupted, or mismatched)."
+            }
+            Counter::StaticRefsCovered => {
+                "References covered symbolically by the static estimator."
+            }
+            Counter::StaticRefsFallback => {
+                "References the static estimator modeled with the irregular fallback."
             }
         }
     }

@@ -137,6 +137,12 @@ reuselens_checkpoints_resumed_total 220
 # HELP reuselens_checkpoints_rejected_total Snapshot files rejected during resume (torn, corrupted, or mismatched).
 # TYPE reuselens_checkpoints_rejected_total counter
 reuselens_checkpoints_rejected_total 230
+# HELP reuselens_static_refs_covered_total References covered symbolically by the static estimator.
+# TYPE reuselens_static_refs_covered_total counter
+reuselens_static_refs_covered_total 240
+# HELP reuselens_static_refs_fallback_total References the static estimator modeled with the irregular fallback.
+# TYPE reuselens_static_refs_fallback_total counter
+reuselens_static_refs_fallback_total 250
 # HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
 # TYPE reuselens_budget_events gauge
 reuselens_budget_events 7
@@ -161,6 +167,7 @@ reuselens_stage_spans_total{stage="partition"} 2
 reuselens_stage_spans_total{stage="sweep"} 1
 reuselens_stage_spans_total{stage="report"} 0
 reuselens_stage_spans_total{stage="checkpoint"} 0
+reuselens_stage_spans_total{stage="estimate"} 0
 # HELP reuselens_stage_seconds_total Wall-clock seconds spent per pipeline stage.
 # TYPE reuselens_stage_seconds_total counter
 reuselens_stage_seconds_total{stage="capture"} 0.000000000
@@ -170,6 +177,7 @@ reuselens_stage_seconds_total{stage="partition"} 0.000000000
 reuselens_stage_seconds_total{stage="sweep"} 0.000000000
 reuselens_stage_seconds_total{stage="report"} 0.000000000
 reuselens_stage_seconds_total{stage="checkpoint"} 0.000000000
+reuselens_stage_seconds_total{stage="estimate"} 0.000000000
 # HELP reuselens_grain_replays_total Replays recorded per grain and status.
 # TYPE reuselens_grain_replays_total counter
 reuselens_grain_replays_total{grain="64",status="completed"} 1
@@ -226,6 +234,8 @@ counters
   checkpoints_written                     210
   checkpoints_resumed                     220
   checkpoints_rejected                    230
+  static_refs_covered                     240
+  static_refs_fallback                    250
 gauges
   budget_events                             7
   budget_distinct_blocks                   14

@@ -236,6 +236,118 @@ mod tests {
     }
 
     #[test]
+    fn zero_trip_loop_still_yields_formulas() {
+        // A DO loop whose bounds never admit an iteration (lo > hi with a
+        // positive step) still declares its reference; the formulas must
+        // come out well-defined rather than panicking or degenerating.
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[16]);
+        p.routine("main", |r| {
+            r.for_("i", 5, 4, |r, i| {
+                r.load(a, vec![i.into()]);
+            });
+        });
+        let prog = p.finish();
+        let f = &compute_formulas(&prog)[0];
+        let i = prog.scope_by_name("i").unwrap();
+        assert_eq!(f.stride_at(i), Some(Stride::Constant(8)));
+        let loc = f.first_location.as_ref().expect("affine subscript");
+        // Offset formula is 8*i regardless of the empty iteration space.
+        assert_eq!(loc.constant, 0);
+        assert!(!f.has_indirect_stride());
+    }
+
+    #[test]
+    fn single_iteration_scope_keeps_its_stride() {
+        // trip == 1: the stride formula is still "bytes per iteration" even
+        // though the loop never advances; downstream consumers (the reuse
+        // estimator) rely on the formula being present, not on trip > 1.
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 4, &[32, 32]);
+        p.routine("main", |r| {
+            r.for_("t", 0, 0, |r, t| {
+                r.for_("i", 0, 31, |r, i| {
+                    r.load(a, vec![i.into(), t.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let f = &compute_formulas(&prog)[0];
+        let t = prog.scope_by_name("t").unwrap();
+        let i = prog.scope_by_name("i").unwrap();
+        assert_eq!(f.stride_at(i), Some(Stride::Constant(4)));
+        assert_eq!(f.stride_at(t), Some(Stride::Constant(4 * 32)));
+    }
+
+    #[test]
+    fn negative_subscript_coefficient_gives_negative_stride() {
+        // a(63 - i): the address walks backwards while the loop counts up.
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[64]);
+        p.routine("main", |r| {
+            r.for_("i", 0, 63, |r, i| {
+                r.load(a, vec![Expr::c(63) - Expr::var(i)]);
+            });
+        });
+        let prog = p.finish();
+        let f = &compute_formulas(&prog)[0];
+        let i = prog.scope_by_name("i").unwrap();
+        assert_eq!(f.stride_at(i), Some(Stride::Constant(-8)));
+        assert!(!f.has_indirect_stride());
+    }
+
+    #[test]
+    fn negative_step_and_negative_coefficient_cancel() {
+        // DO i = 63, 0, -1 over a(63 - i): two reversals make a forward
+        // walk; per-iteration stride is (-8) * (-1) = +8.
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", 8, &[64]);
+        p.routine("main", |r| {
+            r.for_step("i", 63, 0, -1, |r, i| {
+                r.load(a, vec![Expr::c(63) - Expr::var(i)]);
+            });
+        });
+        let prog = p.finish();
+        let f = &compute_formulas(&prog)[0];
+        let i = prog.scope_by_name("i").unwrap();
+        assert_eq!(f.stride_at(i), Some(Stride::Constant(8)));
+    }
+
+    #[test]
+    fn has_indirect_stride_is_per_reference_not_per_nest() {
+        // In a nest mixing an affine outer loop with an indirect inner
+        // subscript, only the reference that loads through the index array
+        // reports an indirect stride; its affine sibling stays clean.
+        let mut p = ProgramBuilder::new("t");
+        let ix = p.index_array("ix", &[64]);
+        let a = p.array("a", 8, &[1000]);
+        let b = p.array("b", 8, &[64, 4]);
+        p.routine("main", |r| {
+            r.for_("c", 0, 3, |r, c| {
+                r.for_("i", 0, 63, |r, i| {
+                    r.load(a, vec![Expr::load(ix, vec![i.into()])]);
+                    r.load(b, vec![i.into(), c.into()]);
+                });
+            });
+        });
+        let prog = p.finish();
+        let f = compute_formulas(&prog);
+        let c = prog.scope_by_name("c").unwrap();
+        let i = prog.scope_by_name("i").unwrap();
+        // The gather: indirect in i, constant (0) in c — c does not appear
+        // in the subscript, so the whole-ref classification must still be
+        // indirect.
+        assert_eq!(f[0].stride_at(i), Some(Stride::Indirect));
+        assert_eq!(f[0].stride_at(c), Some(Stride::Constant(0)));
+        assert!(f[0].has_indirect_stride());
+        // The affine sibling in the same nest.
+        assert_eq!(f[1].stride_at(i), Some(Stride::Constant(8)));
+        assert_eq!(f[1].stride_at(c), Some(Stride::Constant(8 * 64)));
+        assert!(!f[1].has_indirect_stride());
+        assert!(!are_related(&f[0], &f[1]));
+    }
+
+    #[test]
     fn related_references_share_array_and_strides() {
         let mut p = ProgramBuilder::new("t");
         let a = p.array("a", 8, &[64, 8]);

@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod coverage;
+mod estimate;
 mod formulas;
 mod groups;
 
 pub use coverage::coverage;
+pub use estimate::{estimate_profiles, StaticEstimate};
 pub use formulas::{are_related, compute_formulas, RefFormulas};
 pub use groups::{RelatedGroup, StaticAnalysis};

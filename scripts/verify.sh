@@ -43,6 +43,13 @@ cargo test -q -p reuselens-bench --lib
 cargo test -q -p reuselens-core --test sampling_accuracy
 cargo test -q -p reuselens-cache --test sampled_miss_bounds
 
+# Static-estimation accuracy contract: the zero-trace symbolic estimator's
+# per-level miss predictions against the exact dynamic engine on Sweep3D,
+# GTC, and the synthetic affine ladder (three sizes each), plus the
+# zero-trace-events and indirect-fallback proofs. Enforces the bands
+# quoted in README "Predicting without tracing" / DESIGN §4.13.
+cargo test -q --test static_vs_dynamic
+
 # Crash-safety suite: bit-identical checkpoint/resume, recovery from a
 # snapshot torn at every byte boundary, typed rejection of corrupted
 # files, and checkpoint-counter reconciliation against the files on disk.

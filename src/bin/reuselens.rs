@@ -37,7 +37,7 @@ use reuselens::obs::{self, MetricsRecorder};
 use reuselens::metrics::{
     format_array_breakdown, format_carried_misses, format_fragmentation, format_pattern_db,
     format_spatial, format_summary, run_locality_analysis_checkpointed,
-    run_locality_analysis_opts, to_xml, LocalityAnalysis,
+    run_locality_analysis_opts, run_locality_estimate, to_xml, LocalityAnalysis,
 };
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig, GtcTransforms};
 use reuselens::workloads::kernels;
@@ -78,6 +78,12 @@ COMMON OPTIONS:
                     contexts | program | xml
                                                        [default: summary]
     --level <L>     level for patterns/advice/breakdown [default: L2]
+    --predict-static  skip tracing entirely: derive the reuse profiles
+                    symbolically from the loop nest (zero trace events)
+                    and feed the same report views. Prints how many
+                    references the estimator covered vs how many fell
+                    back to the indirect-access model. Accuracy bands
+                    are enforced by tests/static_vs_dynamic.rs
     --sample-rate <R>  approximate analysis: replay through the
                     constant-space sampled analyzer. R is a rate in
                     (0, 1] (e.g. 0.01), or 'auto:<budget>' to adapt the
@@ -271,6 +277,27 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    if flags.flag("--predict-static") {
+        for incompatible in ["--sample-rate", "--replay-threads", "--checkpoint-dir"] {
+            if flags.value(incompatible).is_some() {
+                return Err(format!(
+                    "--predict-static derives profiles without a trace; {incompatible} \
+                     configures the trace pipeline and cannot be combined with it"
+                ));
+            }
+        }
+        let run = run_locality_estimate(&w.program, &hierarchy, &w.index_arrays);
+        eprintln!(
+            "static estimate: {} references covered symbolically, {} via indirect fallback",
+            run.covered.len(),
+            run.fallback.len()
+        );
+        for r in &run.fallback {
+            eprintln!("  fallback: {}", w.program.reference(*r).label());
+        }
+        return print_report(&w.program, &run.analysis, report, level);
+    }
+
     let opts = AnalyzeOptions {
         sampling,
         replay_threads,
@@ -440,9 +467,22 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
             .ok_or_else(|| format!("{f} has no profile at {} B lines", cfg.line_size))?
             .clone();
         eprintln!("loaded {f}: size {} ({} accesses)", saved.size, profile.total_accesses);
+        if !saved.size.is_finite() {
+            return Err(format!("{f} carries a non-finite size tag"));
+        }
         sizes.push(saved.size);
         profiles.push(profile);
     }
+    // The scaling fit requires strictly increasing sizes; accept the files
+    // in any order but refuse two profiles claiming the same size.
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[a].total_cmp(&sizes[b]));
+    let sorted_sizes: Vec<f64> = order.iter().map(|&i| sizes[i]).collect();
+    if sorted_sizes.windows(2).any(|w| w[0] == w[1]) {
+        return Err("two saved profiles carry the same size tag; re-save with --size".into());
+    }
+    let profiles: Vec<_> = order.iter().map(|&i| profiles[i].clone()).collect();
+    let sizes = sorted_sizes;
     let refs: Vec<&_> = profiles.iter().collect();
     let model = ProfileModel::fit(&sizes, &refs, 16);
     let predicted_profile = model.predict(at);
