@@ -29,10 +29,17 @@
 //! * `throughput_events_per_second` (top level) is the headline figure the
 //!   regression gate compares: total events replayed across every run
 //!   divided by total replay wall seconds.
-//! * `obs_overhead_ratio` is enabled/disabled replay wall time with a
-//!   `MetricsRecorder` installed (target ≤ 1.10x); `null` until measured.
-//!   `benches/obs_overhead.rs` also writes its measured ratio here via
-//!   [`record_overhead_ratio`], so the figure is tracked across PRs.
+//! * `obs_overhead_ratio` is enabled/disabled replay wall time — the
+//!   enabled leg runs with a `MetricsRecorder` installed **and the live
+//!   telemetry service on**: the background aggregator ticking and an
+//!   HTTP client scraping `/metrics` once per second, the shape of a
+//!   watched production run (target ≤ [`OBS_OVERHEAD_CEILING`]); `null`
+//!   until measured. The bench-runner gate fails full (non-smoke) runs
+//!   above the ceiling, and [`diff`] flags a >15% *rise* against a
+//!   measured baseline ratio (lower is better, so the gate is inverted
+//!   relative to the throughput lines). `benches/obs_overhead.rs` also
+//!   writes its measured ratio here via [`record_overhead_ratio`], so
+//!   the figure is tracked across PRs.
 //! * `sampled_speedup_ratio` is exact-mode replay wall time divided by
 //!   sampled-mode (rate 1/100) replay wall time on the largest Sweep3D
 //!   ladder rung (target ≥ 3x); `null` until measured.
@@ -47,7 +54,7 @@
 //!   over the run (target ≤ [`CHECKPOINT_OVERHEAD_CEILING`]); `null`
 //!   until measured. The bench-runner gate fails full (non-smoke) runs
 //!   above the ceiling; the ratio is an absolute bar, not diffed against
-//!   the baseline (like `obs_overhead_ratio`).
+//!   the baseline (unlike `obs_overhead_ratio`, which is both).
 //! * `estimator_speedup_ratio` is full-trace replay wall time divided by
 //!   the zero-trace symbolic estimator's wall time over the same grain
 //!   set on Sweep3D (target ≥ [`ESTIMATOR_SPEEDUP_FLOOR`]); `null` until
@@ -87,6 +94,12 @@ pub const REGRESSION_THRESHOLD: f64 = 0.15;
 /// the optimized single-grain replay (best ladder rung) must be at least
 /// this many times faster than the frozen pre-optimization baseline.
 pub const SINGLE_GRAIN_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Acceptance ceiling for `obs_overhead_ratio` on full bench runs:
+/// replaying with the recorder installed, the aggregator ticking, and an
+/// HTTP client scraping `/metrics` once per second must cost at most 10%
+/// over the same replay fully dark.
+pub const OBS_OVERHEAD_CEILING: f64 = 1.10;
 
 /// Acceptance ceiling for `checkpoint_overhead_ratio` on full bench runs:
 /// replaying with periodic snapshots must cost at most 10% over a plain
@@ -419,6 +432,25 @@ fn compare(subject: &str, baseline: f64, current: f64) -> DiffLine {
     }
 }
 
+/// [`compare`] for lower-is-better ratios (overheads): the line regresses
+/// when the current value *rises* more than [`REGRESSION_THRESHOLD`]
+/// above the baseline. `delta` keeps its `current/baseline - 1` meaning,
+/// so a positive delta here reads as "overhead grew".
+fn compare_lower_is_better(subject: &str, baseline: f64, current: f64) -> DiffLine {
+    let delta = if baseline > 0.0 {
+        current / baseline - 1.0
+    } else {
+        0.0
+    };
+    DiffLine {
+        subject: subject.to_string(),
+        baseline,
+        current,
+        delta,
+        regressed: baseline > 0.0 && current > baseline * (1.0 + REGRESSION_THRESHOLD),
+    }
+}
+
 /// Compares `current` against `baseline`: the overall throughput plus
 /// every run present in both (matched by workload × grain count). A drop
 /// beyond [`REGRESSION_THRESHOLD`] on any line marks the outcome
@@ -444,6 +476,13 @@ pub fn diff(baseline: &BenchReport, current: &BenchReport) -> DiffOutcome {
         current.single_grain_speedup_ratio,
     ) {
         lines.push(compare("single_grain_speedup", base, cur));
+    }
+    // The obs-overhead ratio is gated the same way, inverted: overhead is
+    // lower-is-better, so a >15% *rise* against a measured baseline ratio
+    // regresses the diff (the absolute <= OBS_OVERHEAD_CEILING bar is
+    // enforced by the bench-runner on full runs).
+    if let (Some(base), Some(cur)) = (baseline.obs_overhead_ratio, current.obs_overhead_ratio) {
+        lines.push(compare_lower_is_better("obs_overhead", base, cur));
     }
     let regressed = lines.iter().any(|l| l.regressed);
     DiffOutcome { lines, regressed }
@@ -547,13 +586,14 @@ mod tests {
         let base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
         let cur = report(vec![run("sweep3d", 8, 1000, 1.0)]);
         let outcome = diff(&base, &cur);
-        // No matched runs: just the overall line and the speedup-ratio
-        // line (both sides of the fixture measure the ratio).
-        assert_eq!(outcome.lines.len(), 2);
-        assert!(outcome
-            .lines
-            .iter()
-            .all(|l| l.subject == "overall" || l.subject == "single_grain_speedup"));
+        // No matched runs: just the overall line and the two gated ratio
+        // lines (both sides of the fixture measure both ratios).
+        assert_eq!(outcome.lines.len(), 3);
+        assert!(outcome.lines.iter().all(|l| {
+            l.subject == "overall"
+                || l.subject == "single_grain_speedup"
+                || l.subject == "obs_overhead"
+        }));
     }
 
     #[test]
@@ -619,6 +659,35 @@ mod tests {
         assert!(!diff(&base, &cur).regressed);
         // An unmeasured side is skipped, not failed.
         cur.single_grain_speedup_ratio = None;
+        assert!(!diff(&base, &cur).regressed);
+    }
+
+    #[test]
+    fn diff_gates_obs_overhead_ratio_lower_is_better() {
+        let mut base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
+        let mut cur = base.clone();
+        base.obs_overhead_ratio = Some(1.00);
+        // Overhead grew 20%: past the 15% bar. (The absolute-ceiling
+        // check is the bench-runner's; the diff gate fires on the rise
+        // alone.)
+        cur.obs_overhead_ratio = Some(1.20);
+        let outcome = diff(&base, &cur);
+        assert!(outcome.regressed);
+        let line = outcome
+            .lines
+            .iter()
+            .find(|l| l.subject == "obs_overhead")
+            .unwrap();
+        assert!(line.regressed);
+        assert!((line.delta - 0.2).abs() < 1e-9, "delta: {}", line.delta);
+        // A 10% rise is wobble; a *drop* is an improvement, never a
+        // regression (the inverted compare must not fire downward).
+        cur.obs_overhead_ratio = Some(1.10);
+        assert!(!diff(&base, &cur).regressed);
+        cur.obs_overhead_ratio = Some(0.80);
+        assert!(!diff(&base, &cur).regressed);
+        // An unmeasured side is skipped, not failed.
+        cur.obs_overhead_ratio = None;
         assert!(!diff(&base, &cur).regressed);
     }
 

@@ -611,6 +611,7 @@ fn replay_grain(
         grain: Some(block_size),
         ..obs::TimelineArgs::default()
     });
+    obs::emit(obs::EventKind::GrainStarted { grain: block_size });
     let start = Instant::now();
     // Progress lives outside the unwind boundary so a panicking analyzer
     // still leaves behind how many events it had processed.
@@ -671,6 +672,13 @@ fn replay_grain(
                     obs::add(obs::Counter::BlocksEvicted, info.blocks_evicted);
                     obs::add(obs::Counter::SampleRateDrops, info.rate_drops);
                     obs::set_gauge(obs::Gauge::SamplingInvRate, info.inv);
+                    if info.rate_drops > 0 {
+                        obs::emit(obs::EventKind::SampleRateDropped {
+                            grain: block_size,
+                            inv_rate: info.inv,
+                            evicted: info.blocks_evicted,
+                        });
+                    }
                 }
             }
             span.record(|args| {
@@ -749,6 +757,7 @@ pub fn analyze_buffer_with(
                 ..
             }) if opts.retry => {
                 obs::add(obs::Counter::GrainsRetried, 1);
+                obs::emit(obs::EventKind::GrainRetried { grain: block_size });
                 (replay_grain(program, buffer, block_size, opts), true)
             }
             other => (other, false),
@@ -756,6 +765,12 @@ pub fn analyze_buffer_with(
         match outcome {
             Ok((profile, timing, tree_nodes)) => {
                 obs::add(obs::Counter::GrainsCompleted, 1);
+                obs::emit(obs::EventKind::GrainCompleted {
+                    grain: block_size,
+                    events: buffer.events(),
+                    distinct_blocks: profile.distinct_blocks,
+                    wall_ns: timing.wall.as_nanos() as u64,
+                });
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
                     wall: timing.wall,
@@ -776,6 +791,10 @@ pub fn analyze_buffer_with(
             }
             Err(failure) => {
                 obs::add(obs::Counter::GrainsFailed, 1);
+                obs::emit(obs::EventKind::GrainFailed {
+                    grain: block_size,
+                    reason: failure.error.to_string(),
+                });
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
                     wall: Duration::ZERO,
@@ -931,9 +950,19 @@ fn resume_grain(
         match resumed {
             Ok(ok) => {
                 obs::add(obs::Counter::CheckpointsResumed, 1);
+                obs::emit(obs::EventKind::CheckpointResumed {
+                    grain: block_size,
+                    events_replayed: ok.1.event,
+                });
                 return Ok(Some(ok));
             }
-            Err(_) => obs::add(obs::Counter::CheckpointsRejected, 1),
+            Err(e) => {
+                obs::add(obs::Counter::CheckpointsRejected, 1);
+                obs::emit(obs::EventKind::CheckpointRejected {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                });
+            }
         }
     }
     Ok(None)
@@ -953,6 +982,7 @@ fn replay_grain_checkpointed(
         grain: Some(block_size),
         ..obs::TimelineArgs::default()
     });
+    obs::emit(obs::EventKind::GrainStarted { grain: block_size });
     let start = Instant::now();
     let progress = AtomicU64::new(0);
     let every = ckpt.every.max(1);
@@ -1013,6 +1043,11 @@ fn replay_grain_checkpointed(
                     write_snapshot_file(&ckpt.dir, block_size, state.event, &image)?;
                     obs::add(obs::Counter::CheckpointsWritten, 1);
                     obs::set_gauge(obs::Gauge::SnapshotBytes, image.len() as u64);
+                    obs::emit(obs::EventKind::CheckpointWritten {
+                        grain: block_size,
+                        events_replayed: state.event,
+                        bytes: image.len() as u64,
+                    });
                 }
             }
             let tree_nodes = analyzer.tree_nodes() as u64;
@@ -1034,6 +1069,13 @@ fn replay_grain_checkpointed(
                     obs::add(obs::Counter::BlocksEvicted, info.blocks_evicted);
                     obs::add(obs::Counter::SampleRateDrops, info.rate_drops);
                     obs::set_gauge(obs::Gauge::SamplingInvRate, info.inv);
+                    if info.rate_drops > 0 {
+                        obs::emit(obs::EventKind::SampleRateDropped {
+                            grain: block_size,
+                            inv_rate: info.inv,
+                            evicted: info.blocks_evicted,
+                        });
+                    }
                 }
             }
             span.record(|args| {
@@ -1120,6 +1162,7 @@ pub fn analyze_buffer_checkpointed(
                 ..
             }) if opts.retry => {
                 obs::add(obs::Counter::GrainsRetried, 1);
+                obs::emit(obs::EventKind::GrainRetried { grain: block_size });
                 (
                     replay_grain_checkpointed(program, buffer, block_size, opts, ckpt)?,
                     true,
@@ -1130,6 +1173,12 @@ pub fn analyze_buffer_checkpointed(
         match outcome {
             Ok((profile, timing, tree_nodes)) => {
                 obs::add(obs::Counter::GrainsCompleted, 1);
+                obs::emit(obs::EventKind::GrainCompleted {
+                    grain: block_size,
+                    events: buffer.events(),
+                    distinct_blocks: profile.distinct_blocks,
+                    wall_ns: timing.wall.as_nanos() as u64,
+                });
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
                     wall: timing.wall,
@@ -1150,6 +1199,10 @@ pub fn analyze_buffer_checkpointed(
             }
             Err(failure) => {
                 obs::add(obs::Counter::GrainsFailed, 1);
+                obs::emit(obs::EventKind::GrainFailed {
+                    grain: block_size,
+                    reason: failure.error.to_string(),
+                });
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
                     wall: Duration::ZERO,

@@ -493,6 +493,11 @@ pub(crate) fn replay_partitioned(
         }
     }
     obs::add(obs::Counter::PartitionStitch, stitched);
+    obs::emit(obs::EventKind::PartitionStitched {
+        grain: block_size,
+        partitions: states.len() as u64,
+        resolved: stitched,
+    });
 
     let tracked = c_map.len() as u64;
     if !budget.is_unlimited() {

@@ -124,7 +124,7 @@ fn format_prometheus_grains(snapshot: &MetricsSnapshot, out: &mut String) {
 }
 
 /// Formats an events-per-second rate with a deterministic unit ladder.
-fn fmt_rate(rate: f64) -> String {
+pub(crate) fn fmt_rate(rate: f64) -> String {
     if rate >= 1e9 {
         format!("{:.2} G/s", rate / 1e9)
     } else if rate >= 1e6 {

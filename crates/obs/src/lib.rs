@@ -22,6 +22,18 @@
 //!   [`format_prometheus`] (Prometheus text exposition) over a
 //!   [`MetricsSnapshot`].
 //!
+//! The third generation adds the *live* layer on the same foundations:
+//!
+//! * **Events** ([`emit`]) — a structured JSONL log ([`EventLog`]) of
+//!   discrete occurrences (grain lifecycle, checkpoint writes/resumes,
+//!   partition stitches, sampling rate drops, failures) with severities
+//!   and monotonic + wall timestamps.
+//! * **The telemetry service** ([`TelemetryService`]) — a background
+//!   aggregator computing rolling-window rates/progress/ETA from
+//!   recorder snapshots, stderr heartbeats, and a zero-dependency HTTP
+//!   server answering `GET /metrics`, `/healthz`, and `/timeline` while
+//!   the pipeline runs.
+//!
 //! ## Zero cost when disabled
 //!
 //! Nothing is recorded until a [`Recorder`] is installed with [`install`].
@@ -60,15 +72,23 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod events;
 mod export;
+mod http;
 mod recorder;
+mod service;
 mod timeline;
 
+pub use events::{EventKind, EventLog, Severity};
 pub use export::{format_prometheus, format_summary};
+pub use http::{http_get, HttpServer, Response, MAX_ACTIVE_CONNECTIONS};
 pub use recorder::{
     GrainProfile, GrainStatus, MetricsRecorder, MetricsSnapshot, Recorder, SpanStats,
 };
+pub use service::{ServiceConfig, TelemetryService};
 pub use timeline::{format_chrome_trace, Timeline, TimelineArgs, TimelineEvent, TimelineSnapshot};
+
+pub(crate) use timeline::escape_json;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -395,6 +415,8 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
 static TIMELINE_ENABLED: AtomicBool = AtomicBool::new(false);
 static TIMELINE: RwLock<Option<Arc<Timeline>>> = RwLock::new(None);
+static EVENTS_ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: RwLock<Option<Arc<EventLog>>> = RwLock::new(None);
 
 thread_local! {
     /// Nesting depth of open spans on this thread (1 = top level).
@@ -479,6 +501,67 @@ pub fn uninstall_timeline() -> Option<Arc<Timeline>> {
         Err(poisoned) => poisoned.into_inner(),
     };
     slot.take()
+}
+
+/// True when an event log is installed. Like [`enabled`], one relaxed load.
+#[inline]
+pub fn events_enabled() -> bool {
+    EVENTS_ENABLED.load(Ordering::Relaxed)
+}
+
+fn events_slot() -> RwLockReadGuard<'static, Option<Arc<EventLog>>> {
+    match EVENTS.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs a JSONL event log process-wide, returning the previous one if
+/// any. Emits before installation are simply lost (the same mid-run
+/// install semantics as [`install`]).
+pub fn install_events(log: Arc<EventLog>) -> Option<Arc<EventLog>> {
+    let mut slot = match EVENTS.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let previous = slot.replace(log);
+    EVENTS_ENABLED.store(true, Ordering::SeqCst);
+    previous
+}
+
+/// Disables event emission and removes the installed log, returning it so
+/// callers can flush/inspect after the pipeline quiesces.
+pub fn uninstall_events() -> Option<Arc<EventLog>> {
+    EVENTS_ENABLED.store(false, Ordering::SeqCst);
+    let mut slot = match EVENTS.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slot.take()
+}
+
+/// Emits one typed event at its default severity ([`EventKind::severity`]).
+/// A no-op branch when no event log is installed; never per-access — emit
+/// sites are grain/checkpoint/stitch-grained like counter bulk adds.
+#[inline]
+pub fn emit(kind: EventKind) {
+    if !events_enabled() {
+        return;
+    }
+    if let Some(log) = events_slot().as_ref() {
+        log.emit(kind.severity(), &kind);
+    }
+}
+
+/// Emits one typed event at an explicit severity. A no-op when disabled.
+#[inline]
+pub fn emit_at(severity: Severity, kind: EventKind) {
+    if !events_enabled() {
+        return;
+    }
+    if let Some(log) = events_slot().as_ref() {
+        log.emit(severity, &kind);
+    }
 }
 
 /// Adds a bulk delta to a counter. A no-op branch when disabled.
@@ -682,6 +765,54 @@ mod tests {
         uninstall();
         assert_eq!(first.snapshot().counter(Counter::ReportsGenerated), 1);
         assert_eq!(second.snapshot().counter(Counter::ReportsGenerated), 10);
+    }
+
+    #[test]
+    fn pipeline_order_covers_every_stage_exactly_once() {
+        assert_eq!(Stage::PIPELINE_ORDER.len(), Stage::ALL.len());
+        for stage in Stage::ALL {
+            assert_eq!(
+                Stage::PIPELINE_ORDER.iter().filter(|&&s| s == stage).count(),
+                1,
+                "{} must appear exactly once in PIPELINE_ORDER",
+                stage.name()
+            );
+        }
+        // Pin the positions the summary footer depends on: partition
+        // nests inside replay, checkpoint snapshots during replay, and
+        // estimation substitutes for the trace stages just before sweep.
+        let pos = |s: Stage| {
+            Stage::PIPELINE_ORDER
+                .iter()
+                .position(|&x| x == s)
+                .unwrap()
+        };
+        assert!(pos(Stage::Capture) < pos(Stage::Decode));
+        assert!(pos(Stage::Decode) < pos(Stage::Replay));
+        assert!(pos(Stage::Replay) < pos(Stage::Partition));
+        assert!(pos(Stage::Partition) < pos(Stage::Checkpoint));
+        assert!(pos(Stage::Checkpoint) < pos(Stage::Estimate));
+        assert!(pos(Stage::Estimate) < pos(Stage::Sweep));
+        assert!(pos(Stage::Sweep) < pos(Stage::Report));
+    }
+
+    #[test]
+    fn event_emission_respects_install_state() {
+        let _serial = serial();
+        assert!(!events_enabled());
+        emit(EventKind::GrainStarted { grain: 1 }); // inert: no log installed
+        let log = Arc::new(EventLog::to_vec());
+        assert!(install_events(log.clone()).is_none());
+        emit(EventKind::GrainStarted { grain: 64 });
+        emit_at(Severity::Warn, EventKind::GrainStarted { grain: 128 });
+        let returned = uninstall_events();
+        assert!(returned.is_some());
+        emit(EventKind::GrainStarted { grain: 999 }); // dropped: disabled
+        let text = log.captured();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"grain\":64"));
+        assert!(text.contains("\"severity\":\"warn\""));
+        assert!(!text.contains("\"grain\":999"));
     }
 
     #[test]

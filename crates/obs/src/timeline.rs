@@ -291,7 +291,7 @@ impl TimelineSnapshot {
 
 /// Escapes a string for a JSON literal (quotes, backslashes, control
 /// characters; everything else passes through as UTF-8).
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

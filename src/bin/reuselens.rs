@@ -106,6 +106,18 @@ COMMON OPTIONS:
     --trace-timeline <PATH>  write a Chrome trace-event timeline of the
                     pipeline's spans to PATH ('-' for stdout); open in
                     chrome://tracing or https://ui.perfetto.dev
+    --serve-metrics <ADDR>  serve live telemetry over HTTP while the run
+                    is in flight ('127.0.0.1:0' picks a free port; the
+                    bound address is printed to stderr). Endpoints:
+                    GET /metrics (Prometheus text), GET /healthz
+                    (JSON progress/rates/ETA), GET /timeline (Chrome
+                    trace of the live span ring, with --trace-timeline)
+    --heartbeat <SECS>  print a one-line progress heartbeat to stderr
+                    every SECS seconds (fractions allowed) while the
+                    run is in flight
+    --log-jsonl <PATH>  append structured JSONL events (grain lifecycle,
+                    checkpoints, partition stitches, sampling drops,
+                    heartbeats) to PATH ('-' for stderr)
     --save-profile <PATH>   save the measured reuse profiles for `predict`
     --size <N>      problem-size tag stored with --save-profile
 
@@ -124,19 +136,99 @@ fn main() -> ExitCode {
     };
     let metrics_target = flag_value("--metrics");
     let timeline_target = flag_value("--trace-timeline");
-    let recorder = metrics_target.as_ref().map(|_| {
-        let r = std::sync::Arc::new(MetricsRecorder::new());
-        obs::install(r.clone());
-        r
-    });
+    let serve_addr = flag_value("--serve-metrics");
+    let heartbeat = match flag_value("--heartbeat").as_deref().map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(secs)) if secs > 0.0 && secs.is_finite() => {
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+        Some(_) => {
+            eprintln!("error: --heartbeat takes a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+    };
+    let log_target = flag_value("--log-jsonl");
+    // The live service and the heartbeat both read from a recorder, so
+    // either flag provisions one even without `--metrics`.
+    let recorder = (metrics_target.is_some() || serve_addr.is_some() || heartbeat.is_some())
+        .then(|| {
+            let r = std::sync::Arc::new(MetricsRecorder::new());
+            obs::install(r.clone());
+            r
+        });
     let timeline = timeline_target.as_ref().map(|_| {
         let t = std::sync::Arc::new(obs::Timeline::new());
         obs::install_timeline(t.clone());
         t
     });
+    let events = match &log_target {
+        None => None,
+        Some(target) => {
+            let log = if target == "-" {
+                obs::EventLog::stderr()
+            } else {
+                match obs::EventLog::create(std::path::Path::new(target)) {
+                    Ok(log) => log,
+                    Err(e) => {
+                        eprintln!("error: cannot create event log {target}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let log = std::sync::Arc::new(log);
+            obs::install_events(log.clone());
+            Some(log)
+        }
+    };
+    obs::emit(obs::EventKind::RunStarted {
+        command: args.join(" "),
+    });
+    let service = recorder.as_ref().and_then(|r| {
+        if serve_addr.is_none() && heartbeat.is_none() {
+            return None;
+        }
+        let mut service = obs::TelemetryService::start(
+            r.clone(),
+            timeline.clone(),
+            obs::ServiceConfig {
+                heartbeat,
+                ..obs::ServiceConfig::default()
+            },
+        );
+        if let Some(addr) = &serve_addr {
+            match service.serve(addr) {
+                Ok(bound) => eprintln!("serving telemetry on http://{bound}/"),
+                Err(e) => {
+                    eprintln!("error: cannot serve telemetry on {addr}: {e}");
+                    return None;
+                }
+            }
+        }
+        Some(service)
+    });
+    if serve_addr.is_some() && service.is_none() {
+        return ExitCode::FAILURE;
+    }
     let result = run(&args);
-    if let (Some(target), Some(recorder)) = (&metrics_target, &recorder) {
+    obs::emit(obs::EventKind::RunFinished {
+        ok: result.is_ok(),
+    });
+    if let Some(service) = service {
+        service.shutdown();
+    }
+    if let Some(events) = &events {
+        obs::uninstall_events();
+        if events.write_errors() > 0 {
+            eprintln!(
+                "warning: {} event-log write(s) failed",
+                events.write_errors()
+            );
+        }
+    }
+    if recorder.is_some() {
         obs::uninstall();
+    }
+    if let (Some(target), Some(recorder)) = (&metrics_target, &recorder) {
         let snapshot = recorder.snapshot();
         eprint!("{}", snapshot.to_summary());
         let text = snapshot.to_prometheus();
@@ -446,7 +538,8 @@ fn run_predict(flags: &Flags<'_>) -> Result<(), String> {
                 a.as_str(),
                 "--at" | "--level" | "--scale" | "--metrics" | "--trace-timeline"
                     | "--sample-rate" | "--replay-threads" | "--checkpoint-dir"
-                    | "--checkpoint-every"
+                    | "--checkpoint-every" | "--serve-metrics" | "--heartbeat"
+                    | "--log-jsonl"
             );
             continue;
         }

@@ -14,18 +14,22 @@
 
 use reuselens::cache::{report_from_analysis, HierarchyReport, MemoryHierarchy};
 use reuselens::core::{
-    analyze_buffer, analyze_buffer_with, capture_program, AnalysisResult, AnalyzeOptions,
-    ReplayThreads, ReuseProfile, SamplingConfig,
+    analyze_buffer, analyze_buffer_checkpointed, analyze_buffer_with, capture_program,
+    AnalysisResult, AnalyzeOptions, CheckpointOptions, ReplayThreads, ReuseProfile,
+    SamplingConfig,
 };
 use reuselens::metrics::run_locality_analysis;
 use reuselens::obs::{
-    self, Counter, Gauge, GrainStatus, MetricsRecorder, MetricsSnapshot, Stage, Timeline,
+    self, http_get, Counter, EventLog, Gauge, GrainStatus, MetricsRecorder, MetricsSnapshot,
+    ServiceConfig, Stage, TelemetryService, Timeline,
 };
 use reuselens::trace::BufferStats;
 use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
 use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
 use reuselens::workloads::BuiltWorkload;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Serializes tests that touch the process-global recorder slot.
 static INSTALL_LOCK: Mutex<()> = Mutex::new(());
@@ -474,6 +478,216 @@ fn partitioned_replay_is_bit_identical_and_reconciles() {
                 "partition spans must carry their grain"
             );
         }
+    }
+}
+
+/// Parses one counter value out of a Prometheus text page (0 when the
+/// series is absent — scrapes early in a run may predate first use).
+fn prom_value(body: &str, series: &str) -> u64 {
+    body.lines()
+        .find(|l| {
+            l.starts_with(series) && l.as_bytes().get(series.len()) == Some(&b' ')
+        })
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The live telemetry service's identity contract, proved the way the
+/// tentpole demands: the full pipeline runs with the aggregator ticking
+/// and a scraper hammering `/metrics` + `/healthz` over real sockets the
+/// whole time, and (a) every profile and report is bit-identical to the
+/// dark run, (b) every mid-run scrape is monotone and bounded by the
+/// final totals, and (c) once the pipeline quiesces, a scrape equals the
+/// exit exporter's page byte for byte.
+#[test]
+fn service_enabled_run_is_bit_identical_and_scrapes_reconcile() {
+    let _guard = lock();
+    let hs = hierarchies();
+    let ngrains = grains(&hs).len() as u64;
+    for w in workloads() {
+        obs::uninstall();
+        let baseline = run_pipeline(&w, &hs);
+
+        let recorder = Arc::new(MetricsRecorder::new());
+        obs::install(recorder.clone());
+        let mut service = TelemetryService::start(
+            recorder.clone(),
+            None,
+            ServiceConfig {
+                tick: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+        );
+        let addr = service.serve("127.0.0.1:0").expect("bind ephemeral port");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (observed, scraped) = std::thread::scope(|s| {
+            let scrape_stop = stop.clone();
+            let scraper = s.spawn(move || {
+                let mut pages = Vec::new();
+                while !scrape_stop.load(Ordering::Relaxed) {
+                    let (status, page) = http_get(addr, "/metrics").expect("mid-run scrape");
+                    assert_eq!(status, 200);
+                    pages.push(page);
+                    let (status, health) = http_get(addr, "/healthz").expect("mid-run health");
+                    assert_eq!(status, 200);
+                    assert!(health.starts_with("{\"status\":\"ok\""), "health: {health}");
+                }
+                pages
+            });
+            let observed = run_pipeline(&w, &hs);
+            stop.store(true, Ordering::Relaxed);
+            (observed, scraper.join().expect("scraper thread"))
+        });
+        obs::uninstall();
+
+        assert_eq!(
+            baseline.profiles, observed.profiles,
+            "{}: profiles must be bit-identical with the live service scraping",
+            w.program.name()
+        );
+        assert_eq!(
+            baseline.reports, observed.reports,
+            "{}: reports must be bit-identical with the live service scraping",
+            w.program.name()
+        );
+        assert_reconciles(&recorder.snapshot(), &observed, hs.len(), ngrains);
+
+        // Mid-run scrapes never tear: each counter observation is
+        // monotone across scrapes and bounded by the final total.
+        let final_page = recorder.snapshot().to_prometheus();
+        assert!(!scraped.is_empty(), "scraper never got a page in");
+        for series in [
+            "reuselens_events_decoded_total",
+            "reuselens_grains_completed_total",
+            "reuselens_events_captured_total",
+        ] {
+            let final_value = prom_value(&final_page, series);
+            let mut last = 0u64;
+            for page in &scraped {
+                let seen = prom_value(page, series);
+                assert!(seen >= last, "{series} regressed mid-run: {seen} < {last}");
+                assert!(seen <= final_value, "{series} overshot: {seen} > {final_value}");
+                last = seen;
+            }
+        }
+
+        // Quiesced, the live endpoint and the exit exporter are the same
+        // bytes: what a dashboard saw last is what the run wrote down.
+        let (status, page) = http_get(addr, "/metrics").expect("post-quiescence scrape");
+        assert_eq!(status, 200);
+        assert_eq!(
+            page, final_page,
+            "{}: a post-run scrape must equal the exporter page byte for byte",
+            w.program.name()
+        );
+        service.shutdown();
+    }
+}
+
+/// The JSONL event log tells the same story the counters do: one
+/// `grain_started` and one `grain_completed` per grain on the plain
+/// path, checkpoint write events matching the checkpoint counter on the
+/// checkpointed path, and results bit-identical throughout.
+#[test]
+fn jsonl_event_log_reconciles_with_counters() {
+    let _guard = lock();
+    let hs = hierarchies();
+    let g = grains(&hs);
+    let ngrains = g.len() as u64;
+    for w in workloads() {
+        obs::uninstall();
+        obs::uninstall_events();
+        let baseline = run_pipeline(&w, &hs);
+
+        let recorder = Arc::new(MetricsRecorder::new());
+        let log = Arc::new(EventLog::to_vec());
+        obs::install(recorder.clone());
+        obs::install_events(log.clone());
+        let observed = run_pipeline(&w, &hs);
+        obs::uninstall_events();
+        obs::uninstall();
+
+        assert_eq!(
+            baseline.profiles, observed.profiles,
+            "{}: profiles must be bit-identical with the event log installed",
+            w.program.name()
+        );
+        let captured = log.captured();
+        let count = |event: &str| {
+            captured
+                .lines()
+                .filter(|l| l.contains(&format!("\"event\":\"{event}\"")))
+                .count() as u64
+        };
+        let snap = recorder.snapshot();
+        assert_eq!(count("grain_started"), ngrains);
+        assert_eq!(count("grain_completed"), snap.counter(Counter::GrainsCompleted));
+        assert_eq!(count("grain_failed"), 0);
+        assert_eq!(log.emitted(), captured.lines().count() as u64);
+        for line in captured.lines() {
+            assert!(line.starts_with("{\"t_mono_ns\":"), "line: {line}");
+            assert!(line.ends_with('}'), "line: {line}");
+        }
+
+        // Checkpointed path: every snapshot write is logged, and the
+        // profiles still match the plain run bit for bit.
+        let dir = std::env::temp_dir().join(format!(
+            "reuselens-obs-identity-{}-{}",
+            std::process::id(),
+            w.program.name().replace(|c: char| !c.is_alphanumeric(), "_")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (buffer, _exec) = capture_program(&w.program, w.index_arrays.clone()).unwrap();
+        let every = (buffer.stats().events / 4).max(1);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let log = Arc::new(EventLog::to_vec());
+        obs::install(recorder.clone());
+        obs::install_events(log.clone());
+        let ckpt = CheckpointOptions {
+            dir: dir.clone(),
+            every,
+            resume: false,
+        };
+        let (profiles, _timings) = analyze_buffer_checkpointed(
+            &w.program,
+            &buffer,
+            &g,
+            &AnalyzeOptions::default(),
+            &ckpt,
+        )
+        .unwrap()
+        .into_strict()
+        .unwrap();
+        obs::uninstall_events();
+        obs::uninstall();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(
+            baseline.profiles, profiles,
+            "{}: checkpointed profiles must stay bit-identical with events on",
+            w.program.name()
+        );
+        let captured = log.captured();
+        let count = |event: &str| {
+            captured
+                .lines()
+                .filter(|l| l.contains(&format!("\"event\":\"{event}\"")))
+                .count() as u64
+        };
+        let snap = recorder.snapshot();
+        assert!(
+            snap.counter(Counter::CheckpointsWritten) > 0,
+            "{}: interval {every} must force interior checkpoints",
+            w.program.name()
+        );
+        assert_eq!(
+            count("checkpoint_written"),
+            snap.counter(Counter::CheckpointsWritten)
+        );
+        assert_eq!(count("grain_started"), ngrains);
+        assert_eq!(count("grain_completed"), ngrains);
     }
 }
 
