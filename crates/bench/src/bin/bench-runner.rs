@@ -48,6 +48,7 @@ use reuselens::statics::estimate_profiles;
 use reuselens_bench::report::{
     diff, BenchReport, BenchRun, StageSeconds, CHECKPOINT_OVERHEAD_CEILING,
     ESTIMATOR_SPEEDUP_FLOOR, OBS_OVERHEAD_CEILING, SINGLE_GRAIN_SPEEDUP_FLOOR,
+    STORE_REPLAY_SPEEDUP_FLOOR,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -441,6 +442,67 @@ fn main() -> ExitCode {
             report.estimator_speedup_ratio = Some(ratio);
         }
 
+        // Store-reuse rung on the first (Sweep3D) workload: wall time to
+        // obtain a replay-ready buffer by capturing from scratch vs by
+        // loading the trace persisted in the on-disk store. The replay
+        // that follows is bit-identical either way
+        // (tests/store_identity.rs), so the acquisition cost is the
+        // whole difference between a cold analysis session and one
+        // reusing a stored capture. The put() is not timed: persistence
+        // happens once, at capture time.
+        if report.store_replay_speedup_ratio.is_none() {
+            let dir = std::env::temp_dir().join(format!(
+                "reuselens-bench-store-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let seeded = reuselens::store::TraceStore::open(&dir).and_then(|mut store| {
+                store.put(
+                    "bench",
+                    &buffer,
+                    reuselens::store::TraceMeta {
+                        workload: name.to_string(),
+                        grains: GRAIN_LADDER[..2].to_vec(),
+                    },
+                )?;
+                Ok(store)
+            });
+            match seeded {
+                Err(e) => eprintln!("store-reuse rung skipped: cannot seed store: {e}"),
+                Ok(store) => {
+                    let scratch = (0..reps.max(1))
+                        .map(|_| {
+                            let t = Instant::now();
+                            std::hint::black_box(
+                                capture_program(&w.program, w.index_arrays.clone())
+                                    .expect("bench capture"),
+                            );
+                            t.elapsed()
+                        })
+                        .min()
+                        .unwrap_or(Duration::ZERO);
+                    let reuse = (0..reps.max(1))
+                        .map(|_| {
+                            let t = Instant::now();
+                            std::hint::black_box(
+                                store.get("bench").expect("bench store read"),
+                            );
+                            t.elapsed()
+                        })
+                        .min()
+                        .unwrap_or(Duration::ZERO);
+                    let ratio =
+                        scratch.as_secs_f64() / reuse.as_secs_f64().max(f64::MIN_POSITIVE);
+                    eprintln!(
+                        "store replay speedup ratio: {ratio:.2}x vs capture-from-scratch \
+                         (target >= {STORE_REPLAY_SPEEDUP_FLOOR}x on full runs)"
+                    );
+                    report.store_replay_speedup_ratio = Some(ratio);
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
         // Checkpoint overhead on the first (Sweep3D) workload: the same
         // single-grain serial replay plain and through the crash-safe
         // checkpointed engine snapshotting four times over the stream.
@@ -509,6 +571,15 @@ fn main() -> ExitCode {
                 eprintln!(
                     "estimator speedup {ratio:.0}x is below the \
                      {ESTIMATOR_SPEEDUP_FLOOR}x floor"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(ratio) = report.store_replay_speedup_ratio {
+            if ratio < STORE_REPLAY_SPEEDUP_FLOOR {
+                eprintln!(
+                    "store replay speedup {ratio:.2}x is below the \
+                     {STORE_REPLAY_SPEEDUP_FLOOR}x floor"
                 );
                 return ExitCode::FAILURE;
             }

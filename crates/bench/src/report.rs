@@ -61,6 +61,16 @@
 //!   measured. The bench-runner gate fails full (non-smoke) runs below
 //!   the floor; like `checkpoint_overhead_ratio` it is an absolute bar,
 //!   not diffed against the baseline.
+//! * `store_replay_speedup_ratio` is the wall time to obtain a
+//!   replay-ready Sweep3D `TraceBuffer` by capturing the workload from
+//!   scratch divided by the wall time to load the same trace from the
+//!   on-disk store (read + validate + decode + checkpoint rebuild). The
+//!   replay that follows is bit-identical either way
+//!   (`tests/store_identity.rs`), so the acquisition cost *is* the
+//!   capture-once/replay-many win the store banks per later session
+//!   (target ≥ [`STORE_REPLAY_SPEEDUP_FLOOR`]); `null` until measured.
+//!   The bench-runner gate fails full (non-smoke) runs below the floor;
+//!   an absolute bar, not diffed against the baseline.
 //! * `runs[]` each hold one workload × grain-count measurement;
 //!   `stage_seconds` is the pipeline stage wall-time breakdown from the
 //!   run's `MetricsRecorder` snapshot and `events` counts events replayed
@@ -110,6 +120,12 @@ pub const CHECKPOINT_OVERHEAD_CEILING: f64 = 1.10;
 /// symbolic estimator's whole value proposition is skipping the trace, so
 /// it must beat full-trace replay on Sweep3D by at least this factor.
 pub const ESTIMATOR_SPEEDUP_FLOOR: f64 = 100.0;
+
+/// Acceptance floor for `store_replay_speedup_ratio` on full bench runs:
+/// loading a stored trace into a replay-ready buffer must beat
+/// re-capturing the workload from scratch by at least this factor, or
+/// persisting traces is not paying for itself.
+pub const STORE_REPLAY_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Wall seconds of one pipeline stage across a run, both ways of adding
 /// spans up (see the module docs on the `stage_seconds` schema change).
@@ -173,6 +189,10 @@ pub struct BenchReport {
     /// ratio (see the module docs); gated against
     /// [`ESTIMATOR_SPEEDUP_FLOOR`] on full runs.
     pub estimator_speedup_ratio: Option<f64>,
+    /// Capture-from-scratch over load-from-store wall-time ratio for
+    /// obtaining a replay-ready buffer (see the module docs); gated
+    /// against [`STORE_REPLAY_SPEEDUP_FLOOR`] on full runs.
+    pub store_replay_speedup_ratio: Option<f64>,
 }
 
 impl BenchReport {
@@ -186,6 +206,7 @@ impl BenchReport {
             single_grain_speedup_ratio: None,
             checkpoint_overhead_ratio: None,
             estimator_speedup_ratio: None,
+            store_replay_speedup_ratio: None,
         }
     }
 
@@ -279,6 +300,13 @@ impl BenchReport {
                     None => Json::Null,
                 },
             ),
+            (
+                "store_replay_speedup_ratio".into(),
+                match self.store_replay_speedup_ratio {
+                    Some(r) => Json::Num(r),
+                    None => Json::Null,
+                },
+            ),
             ("runs".into(), Json::Arr(runs)),
             ("counters".into(), Json::Obj(counters)),
         ])
@@ -361,6 +389,9 @@ impl BenchReport {
                 .and_then(Json::as_f64),
             estimator_speedup_ratio: doc
                 .get("estimator_speedup_ratio")
+                .and_then(Json::as_f64),
+            store_replay_speedup_ratio: doc
+                .get("store_replay_speedup_ratio")
                 .and_then(Json::as_f64),
         })
     }
@@ -532,6 +563,7 @@ mod tests {
             single_grain_speedup_ratio: Some(6.1),
             checkpoint_overhead_ratio: Some(1.03),
             estimator_speedup_ratio: Some(240.0),
+            store_replay_speedup_ratio: Some(3.4),
         }
     }
 
@@ -611,6 +643,7 @@ mod tests {
         assert_eq!(parsed.single_grain_speedup_ratio, None);
         assert_eq!(parsed.checkpoint_overhead_ratio, None);
         assert_eq!(parsed.estimator_speedup_ratio, None);
+        assert_eq!(parsed.store_replay_speedup_ratio, None);
     }
 
     #[test]
@@ -624,6 +657,19 @@ mod tests {
         // owns that failure on full runs).
         let mut cur = base.clone();
         cur.estimator_speedup_ratio = Some(120.0);
+        assert!(!diff(&base, &cur).regressed);
+    }
+
+    #[test]
+    fn store_replay_speedup_ratio_round_trips_and_is_not_diffed() {
+        let mut base = report(vec![run("sweep3d", 4, 1000, 1.0)]);
+        base.store_replay_speedup_ratio = Some(4.2);
+        let parsed = BenchReport::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed.store_replay_speedup_ratio, Some(4.2));
+        // Absolute gate, not a baseline diff: the bench-runner's floor
+        // check owns failures on full runs.
+        let mut cur = base.clone();
+        cur.store_replay_speedup_ratio = Some(2.1);
         assert!(!diff(&base, &cur).regressed);
     }
 

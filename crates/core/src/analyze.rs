@@ -270,7 +270,7 @@ pub fn capture_program(
 
 /// Knobs for the fault-tolerant replay pipeline
 /// ([`analyze_buffer_with`] / [`analyze_program_degraded`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzeOptions {
     /// Resource caps per grain; unlimited by default.
     pub budget: AnalysisBudget,
@@ -295,6 +295,11 @@ pub struct AnalyzeOptions {
     /// bit-identical output; adaptive sampling is inherently sequential
     /// and falls back to serial replay.
     pub replay_threads: ReplayThreads,
+    /// Daemon job this replay runs on behalf of, threaded verbatim into
+    /// every [`FailureReport`] and `grain_failed` telemetry event so a
+    /// multi-tenant daemon can attribute failures to the request that
+    /// caused them. `None` — every non-daemon run — renders nothing.
+    pub job: Option<String>,
 }
 
 impl Default for AnalyzeOptions {
@@ -305,6 +310,7 @@ impl Default for AnalyzeOptions {
             retry: true,
             sampling: SamplingConfig::Exact,
             replay_threads: ReplayThreads::Serial,
+            job: None,
         }
     }
 }
@@ -324,6 +330,10 @@ pub struct FailureReport {
     /// resumed runs can report exact progress instead of discarding it.
     /// Counted at batch granularity on the fast path.
     pub events: u64,
+    /// Daemon job the grain was replayed for ([`AnalyzeOptions::job`]);
+    /// `None` outside the daemon. Carried through the degradation path so
+    /// failure attribution survives retry and fold-in.
+    pub job: Option<String>,
 }
 
 impl fmt::Display for FailureReport {
@@ -794,6 +804,7 @@ pub fn analyze_buffer_with(
                 obs::emit(obs::EventKind::GrainFailed {
                     grain: block_size,
                     reason: failure.error.to_string(),
+                    job: opts.job.clone(),
                 });
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
@@ -811,6 +822,7 @@ pub fn analyze_buffer_with(
                     error: failure.error,
                     retried,
                     events: failure.events,
+                    job: opts.job.clone(),
                 });
             }
         }
@@ -1202,6 +1214,7 @@ pub fn analyze_buffer_checkpointed(
                 obs::emit(obs::EventKind::GrainFailed {
                     grain: block_size,
                     reason: failure.error.to_string(),
+                    job: opts.job.clone(),
                 });
                 obs::record_grain(&obs::GrainProfile {
                     block_size,
@@ -1219,6 +1232,7 @@ pub fn analyze_buffer_checkpointed(
                     error: failure.error,
                     retried,
                     events: failure.events,
+                    job: opts.job.clone(),
                 });
             }
         }

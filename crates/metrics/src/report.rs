@@ -214,7 +214,11 @@ pub fn run_locality_estimate(
 
 /// The shared back half of the pipeline: miss prediction, static
 /// analysis, and per-level attribution over an already-measured analysis.
-fn attribute_analysis(
+///
+/// Public so out-of-process pipelines — a daemon replaying a stored trace
+/// it captured in an earlier job — can rejoin the attribution path after
+/// producing an [`AnalysisResult`] by other means.
+pub fn attribute_analysis(
     program: &Program,
     hierarchy: &MemoryHierarchy,
     analysis: AnalysisResult,

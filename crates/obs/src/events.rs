@@ -114,6 +114,10 @@ pub enum EventKind {
         grain: u64,
         /// The failure's rendered message.
         reason: String,
+        /// Daemon job the grain was replayed for; `None` outside the
+        /// daemon. Keeps a panicked job's failures attributable after
+        /// they cross the degradation path.
+        job: Option<String>,
     },
     /// A crash-safety snapshot of a grain's analyzer state was written.
     CheckpointWritten {
@@ -157,6 +161,39 @@ pub enum EventKind {
         /// Tracked blocks evicted by the drop.
         evicted: u64,
     },
+    /// The daemon accepted an analysis job onto its queue.
+    JobAccepted {
+        /// The job id the client supplied.
+        job: String,
+        /// The job kind ("capture", "replay", "estimate", ...).
+        kind: String,
+    },
+    /// A daemon job ran to completion and produced a success response.
+    JobCompleted {
+        /// The job id.
+        job: String,
+        /// The job kind.
+        kind: String,
+        /// Queue + execution wall time in nanoseconds.
+        wall_ns: u64,
+    },
+    /// A daemon job ended in a typed error response.
+    JobFailed {
+        /// The job id.
+        job: String,
+        /// The job kind (`"?"` when the request never parsed).
+        kind: String,
+        /// The error's rendered message.
+        reason: String,
+    },
+    /// The daemon rejected a job before queueing it (full queue or
+    /// shutdown) — the 429-style overload path.
+    JobRejected {
+        /// The job id (`"?"` when the request never parsed).
+        job: String,
+        /// Why it was rejected.
+        reason: String,
+    },
     /// One aggregator heartbeat (also the stderr progress line's source).
     Heartbeat {
         /// Seconds since the service started.
@@ -187,6 +224,10 @@ impl EventKind {
             EventKind::CheckpointRejected { .. } => "checkpoint_rejected",
             EventKind::PartitionStitched { .. } => "partition_stitched",
             EventKind::SampleRateDropped { .. } => "sample_rate_dropped",
+            EventKind::JobAccepted { .. } => "job_accepted",
+            EventKind::JobCompleted { .. } => "job_completed",
+            EventKind::JobFailed { .. } => "job_failed",
+            EventKind::JobRejected { .. } => "job_rejected",
             EventKind::Heartbeat { .. } => "heartbeat",
         }
     }
@@ -194,10 +235,11 @@ impl EventKind {
     /// The default severity this kind is emitted at.
     pub fn severity(&self) -> Severity {
         match self {
-            EventKind::GrainFailed { .. } => Severity::Error,
+            EventKind::GrainFailed { .. } | EventKind::JobFailed { .. } => Severity::Error,
             EventKind::GrainRetried { .. }
             | EventKind::CheckpointRejected { .. }
-            | EventKind::SampleRateDropped { .. } => Severity::Warn,
+            | EventKind::SampleRateDropped { .. }
+            | EventKind::JobRejected { .. } => Severity::Warn,
             _ => Severity::Info,
         }
     }
@@ -231,12 +273,15 @@ impl EventKind {
             EventKind::GrainRetried { grain } => {
                 let _ = write!(out, ",\"grain\":{grain}");
             }
-            EventKind::GrainFailed { grain, reason } => {
+            EventKind::GrainFailed { grain, reason, job } => {
                 let _ = write!(
                     out,
                     ",\"grain\":{grain},\"reason\":\"{}\"",
                     escape_json(reason)
                 );
+                if let Some(job) = job {
+                    let _ = write!(out, ",\"job\":\"{}\"", escape_json(job));
+                }
             }
             EventKind::CheckpointWritten {
                 grain,
@@ -283,6 +328,39 @@ impl EventKind {
                 let _ = write!(
                     out,
                     ",\"grain\":{grain},\"inv_rate\":{inv_rate},\"evicted\":{evicted}"
+                );
+            }
+            EventKind::JobAccepted { job, kind } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":\"{}\",\"kind\":\"{}\"",
+                    escape_json(job),
+                    escape_json(kind)
+                );
+            }
+            EventKind::JobCompleted { job, kind, wall_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":\"{}\",\"kind\":\"{}\",\"wall_ns\":{wall_ns}",
+                    escape_json(job),
+                    escape_json(kind)
+                );
+            }
+            EventKind::JobFailed { job, kind, reason } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":\"{}\",\"kind\":\"{}\",\"reason\":\"{}\"",
+                    escape_json(job),
+                    escape_json(kind),
+                    escape_json(reason)
+                );
+            }
+            EventKind::JobRejected { job, reason } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":\"{}\",\"reason\":\"{}\"",
+                    escape_json(job),
+                    escape_json(reason)
                 );
             }
             EventKind::Heartbeat {
@@ -472,6 +550,7 @@ mod tests {
             &EventKind::GrainFailed {
                 grain: 64,
                 reason: "panicked: \"index out of bounds\"".into(),
+                job: Some("job-7".into()),
             },
         );
         let text = log.captured();
@@ -490,6 +569,18 @@ mod tests {
         assert!(lines[1].contains("\"severity\":\"error\""));
         // The reason's quotes are escaped, keeping the line one object.
         assert!(lines[1].contains("\\\"index out of bounds\\\""));
+        // The daemon's job attribution rides along when present...
+        assert!(lines[1].contains("\"job\":\"job-7\""));
+        // ...and is absent (not null) outside the daemon.
+        let bare = log.render_line(
+            Severity::Error,
+            &EventKind::GrainFailed {
+                grain: 64,
+                reason: "r".into(),
+                job: None,
+            },
+        );
+        assert!(!bare.contains("\"job\""), "{bare}");
     }
 
     #[test]
@@ -497,10 +588,28 @@ mod tests {
         assert_eq!(
             EventKind::GrainFailed {
                 grain: 1,
+                reason: String::new(),
+                job: None
+            }
+            .severity(),
+            Severity::Error
+        );
+        assert_eq!(
+            EventKind::JobFailed {
+                job: String::new(),
+                kind: String::new(),
                 reason: String::new()
             }
             .severity(),
             Severity::Error
+        );
+        assert_eq!(
+            EventKind::JobRejected {
+                job: String::new(),
+                reason: String::new()
+            }
+            .severity(),
+            Severity::Warn
         );
         assert_eq!(EventKind::GrainRetried { grain: 1 }.severity(), Severity::Warn);
         assert_eq!(
@@ -577,6 +686,7 @@ mod tests {
                 EventKind::GrainFailed {
                     grain: 1,
                     reason: "r".into(),
+                    job: Some("j".into()),
                 },
                 "grain_failed",
             ),
@@ -617,6 +727,36 @@ mod tests {
                     evicted: 3,
                 },
                 "sample_rate_dropped",
+            ),
+            (
+                EventKind::JobAccepted {
+                    job: "j".into(),
+                    kind: "capture".into(),
+                },
+                "job_accepted",
+            ),
+            (
+                EventKind::JobCompleted {
+                    job: "j".into(),
+                    kind: "replay".into(),
+                    wall_ns: 5,
+                },
+                "job_completed",
+            ),
+            (
+                EventKind::JobFailed {
+                    job: "j".into(),
+                    kind: "replay".into(),
+                    reason: "r".into(),
+                },
+                "job_failed",
+            ),
+            (
+                EventKind::JobRejected {
+                    job: "j".into(),
+                    reason: "queue full".into(),
+                },
+                "job_rejected",
             ),
             (
                 EventKind::Heartbeat {

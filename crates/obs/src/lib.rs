@@ -231,11 +231,19 @@ pub enum Counter {
     /// References the symbolic estimator could not classify (irregular
     /// or indirect subscripts) and modeled with the fallback scatter.
     StaticRefsFallback,
+    /// Analysis jobs the daemon accepted onto its queue.
+    JobsAccepted,
+    /// Analysis jobs that ran to completion and produced a response.
+    JobsCompleted,
+    /// Analysis jobs that ended in a typed error response.
+    JobsFailed,
+    /// Analysis jobs rejected before queueing (full queue or shutdown).
+    JobsRejected,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::EventsCaptured,
         Counter::AccessesCaptured,
         Counter::BytesEncoded,
@@ -261,6 +269,10 @@ impl Counter {
         Counter::CheckpointsRejected,
         Counter::StaticRefsCovered,
         Counter::StaticRefsFallback,
+        Counter::JobsAccepted,
+        Counter::JobsCompleted,
+        Counter::JobsFailed,
+        Counter::JobsRejected,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -292,6 +304,10 @@ impl Counter {
             Counter::CheckpointsRejected => "checkpoints_rejected",
             Counter::StaticRefsCovered => "static_refs_covered",
             Counter::StaticRefsFallback => "static_refs_fallback",
+            Counter::JobsAccepted => "jobs_accepted",
+            Counter::JobsCompleted => "jobs_completed",
+            Counter::JobsFailed => "jobs_failed",
+            Counter::JobsRejected => "jobs_rejected",
         }
     }
 
@@ -339,6 +355,12 @@ impl Counter {
             Counter::StaticRefsFallback => {
                 "References the static estimator modeled with the irregular fallback."
             }
+            Counter::JobsAccepted => "Analysis jobs accepted onto the daemon queue.",
+            Counter::JobsCompleted => "Analysis jobs that produced a success response.",
+            Counter::JobsFailed => "Analysis jobs that ended in a typed error response.",
+            Counter::JobsRejected => {
+                "Analysis jobs rejected before queueing (full queue or shutdown)."
+            }
         }
     }
 
@@ -364,16 +386,19 @@ pub enum Gauge {
     /// Encoded size of the most recently written crash-safety snapshot,
     /// in bytes.
     SnapshotBytes,
+    /// Jobs sitting on the daemon queue (accepted, not yet running).
+    JobQueueDepth,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::BudgetEvents,
         Gauge::BudgetDistinctBlocks,
         Gauge::BudgetTreeNodes,
         Gauge::SamplingInvRate,
         Gauge::SnapshotBytes,
+        Gauge::JobQueueDepth,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -385,6 +410,7 @@ impl Gauge {
             Gauge::BudgetTreeNodes => "budget_tree_nodes",
             Gauge::SamplingInvRate => "sampling_inv_rate",
             Gauge::SnapshotBytes => "snapshot_bytes",
+            Gauge::JobQueueDepth => "job_queue_depth",
         }
     }
 
@@ -401,6 +427,9 @@ impl Gauge {
             }
             Gauge::SnapshotBytes => {
                 "Bytes of the most recently written crash-safety snapshot."
+            }
+            Gauge::JobQueueDepth => {
+                "Jobs sitting on the daemon queue (accepted, not yet running)."
             }
         }
     }

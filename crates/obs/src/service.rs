@@ -45,6 +45,7 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::fmt::Write as _;
 use std::io;
 use std::net::SocketAddr;
@@ -60,7 +61,7 @@ use crate::{
 };
 
 /// How the aggregator paces itself and what the run promised upfront.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Sampling period of the aggregator thread.
     pub tick: Duration,
@@ -78,6 +79,24 @@ pub struct ServiceConfig {
     pub budget_distinct_blocks: Option<u64>,
     /// Per-grain tree-node budget, when configured.
     pub budget_tree_nodes: Option<u64>,
+    /// Renders the `/jobs` response body (the daemon's job table as
+    /// JSON); `None` — every non-daemon run — answers 404 on that path.
+    pub jobs: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+}
+
+impl fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("tick", &self.tick)
+            .field("heartbeat", &self.heartbeat)
+            .field("window_short", &self.window_short)
+            .field("window_long", &self.window_long)
+            .field("budget_events", &self.budget_events)
+            .field("budget_distinct_blocks", &self.budget_distinct_blocks)
+            .field("budget_tree_nodes", &self.budget_tree_nodes)
+            .field("jobs", &self.jobs.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +109,7 @@ impl Default for ServiceConfig {
             budget_events: None,
             budget_distinct_blocks: None,
             budget_tree_nodes: None,
+            jobs: None,
         }
     }
 }
@@ -365,10 +385,15 @@ impl Shared {
                 };
                 Response::ok("application/json", format_chrome_trace(&snapshot))
             }
+            "/jobs" => match &self.config.jobs {
+                Some(jobs) => Response::ok("application/json", jobs()),
+                None => Response::not_found(),
+            },
             "/" => Response::ok(
                 "text/plain; charset=utf-8",
                 "reuselens telemetry\n\nGET /metrics   Prometheus text\n\
-                 GET /healthz   liveness + progress JSON\nGET /timeline  Chrome trace JSON\n"
+                 GET /healthz   liveness + progress JSON\nGET /timeline  Chrome trace JSON\n\
+                 GET /jobs      daemon job table JSON (serve mode only)\n"
                     .into(),
             ),
             _ => Response::not_found(),

@@ -143,6 +143,18 @@ reuselens_static_refs_covered_total 240
 # HELP reuselens_static_refs_fallback_total References the static estimator modeled with the irregular fallback.
 # TYPE reuselens_static_refs_fallback_total counter
 reuselens_static_refs_fallback_total 250
+# HELP reuselens_jobs_accepted_total Analysis jobs accepted onto the daemon queue.
+# TYPE reuselens_jobs_accepted_total counter
+reuselens_jobs_accepted_total 260
+# HELP reuselens_jobs_completed_total Analysis jobs that produced a success response.
+# TYPE reuselens_jobs_completed_total counter
+reuselens_jobs_completed_total 270
+# HELP reuselens_jobs_failed_total Analysis jobs that ended in a typed error response.
+# TYPE reuselens_jobs_failed_total counter
+reuselens_jobs_failed_total 280
+# HELP reuselens_jobs_rejected_total Analysis jobs rejected before queueing (full queue or shutdown).
+# TYPE reuselens_jobs_rejected_total counter
+reuselens_jobs_rejected_total 290
 # HELP reuselens_budget_events Events replayed at the latest budget checkpoint.
 # TYPE reuselens_budget_events gauge
 reuselens_budget_events 7
@@ -158,6 +170,9 @@ reuselens_sampling_inv_rate 28
 # HELP reuselens_snapshot_bytes Bytes of the most recently written crash-safety snapshot.
 # TYPE reuselens_snapshot_bytes gauge
 reuselens_snapshot_bytes 35
+# HELP reuselens_job_queue_depth Jobs sitting on the daemon queue (accepted, not yet running).
+# TYPE reuselens_job_queue_depth gauge
+reuselens_job_queue_depth 42
 # HELP reuselens_stage_spans_total Completed spans per pipeline stage.
 # TYPE reuselens_stage_spans_total counter
 reuselens_stage_spans_total{stage="capture"} 1
@@ -236,12 +251,17 @@ counters
   checkpoints_rejected                    230
   static_refs_covered                     240
   static_refs_fallback                    250
+  jobs_accepted                           260
+  jobs_completed                          270
+  jobs_failed                             280
+  jobs_rejected                           290
 gauges
   budget_events                             7
   budget_distinct_blocks                   14
   budget_tree_nodes                        21
   sampling_inv_rate                        28
   snapshot_bytes                           35
+  job_queue_depth                          42
 ";
 
 #[test]

@@ -227,6 +227,43 @@ pub struct SegmentState {
     pub(crate) last_ref: u32,
 }
 
+/// The portable on-disk / wire image of a [`TraceBuffer`]: the raw encoded
+/// columns plus the declared counts, nothing else. Produced by
+/// [`TraceBuffer::export`], consumed by [`TraceBuffer::import`] (which
+/// validates every byte and regenerates the checkpoint seek index). The
+/// trace store frames and checksums these columns; this type is the
+/// boundary between the capture engine and any persistence layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExportedTrace {
+    /// Total events (accesses + scope transitions) the columns encode.
+    pub events: u64,
+    /// Memory-access events.
+    pub accesses: u64,
+    /// Scope enter/exit events.
+    pub scope_events: u64,
+    /// Packed 2-bit opcode column, four events per byte.
+    pub ops: Vec<u8>,
+    /// Zigzag-varint address-delta column.
+    pub addr_bytes: Vec<u8>,
+    /// Zigzag-varint reference-id-delta column.
+    pub ref_bytes: Vec<u8>,
+    /// Varint access-size column.
+    pub size_bytes: Vec<u8>,
+    /// Varint scope-id column.
+    pub scope_bytes: Vec<u8>,
+}
+
+impl ExportedTrace {
+    /// Bytes the five encoded columns occupy.
+    pub fn encoded_bytes(&self) -> u64 {
+        (self.ops.len()
+            + self.addr_bytes.len()
+            + self.ref_bytes.len()
+            + self.size_bytes.len()
+            + self.scope_bytes.len()) as u64
+    }
+}
+
 impl TraceBuffer {
     /// Creates an empty buffer.
     pub fn new() -> TraceBuffer {
@@ -667,6 +704,101 @@ impl TraceBuffer {
         }
     }
 
+    /// Exports the encoded columns as a self-contained [`ExportedTrace`] —
+    /// the portable image a trace store persists and ships across process
+    /// boundaries. The image carries the raw columns and declared counts
+    /// only (no capture-side checkpoints); [`import`](Self::import)
+    /// regenerates the checkpoints, so a round trip costs one forward scan
+    /// and yields a buffer whose replay — full, segmented, or validating —
+    /// is bit-identical to this one's.
+    pub fn export(&self) -> ExportedTrace {
+        ExportedTrace {
+            events: self.events,
+            accesses: self.accesses,
+            scope_events: self.scope_events,
+            ops: self.ops.clone(),
+            addr_bytes: self.addr_bytes.clone(),
+            ref_bytes: self.ref_bytes.clone(),
+            size_bytes: self.size_bytes.clone(),
+            scope_bytes: self.scope_bytes.clone(),
+        }
+    }
+
+    /// Rebuilds a buffer from an [`ExportedTrace`] image of untrusted
+    /// provenance. The whole stream is decoded through the validating
+    /// decoder first (truncation, malformed varints, field ranges, scope
+    /// balance, trailing bytes), the declared counts are cross-checked
+    /// against what decoding observed, and the capture-side checkpoint
+    /// index is regenerated by one forward scan so partitioned replay
+    /// seeks as fast as on the original capture. `Ok` guarantees the
+    /// result replays bit-identically to the buffer that produced the
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformation found; the image is rejected whole
+    /// (no partially-imported buffer escapes).
+    pub fn import(image: ExportedTrace) -> Result<TraceBuffer, DecodeError> {
+        let mut buf = TraceBuffer {
+            ops: image.ops,
+            events: image.events,
+            accesses: image.accesses,
+            scope_events: image.scope_events,
+            addr_bytes: image.addr_bytes,
+            ref_bytes: image.ref_bytes,
+            size_bytes: image.size_bytes,
+            scope_bytes: image.scope_bytes,
+            last_addr: 0,
+            last_ref: 0,
+            checkpoints: Vec::new(),
+            open_scopes: Vec::new(),
+        };
+        if buf.accesses.saturating_add(buf.scope_events) != buf.events {
+            return Err(DecodeError::CountMismatch {
+                what: "event",
+                declared: buf.events,
+                actual: buf.accesses.saturating_add(buf.scope_events),
+            });
+        }
+        // One fused validating scan: every event goes through the checked
+        // decoder, and the checkpoint seek index is snapshotted at the
+        // same boundaries capture would have placed it — no second pass.
+        let mut span = obs::span(obs::Stage::Decode);
+        let (checkpoints, accesses, last_addr, last_ref) = {
+            let mut dec = Decoder::new(&buf)?;
+            let mut checkpoints = Vec::new();
+            loop {
+                if dec.next > 0
+                    && dec.next < buf.events
+                    && dec.next.is_multiple_of(CHECKPOINT_EVERY)
+                {
+                    checkpoints.push(dec.checkpoint());
+                }
+                if dec.next_event()?.is_none() {
+                    break;
+                }
+            }
+            dec.finish()?;
+            (checkpoints, dec.accesses, dec.addr, dec.r)
+        };
+        span.record(|args| args.events = Some(buf.events));
+        if accesses != buf.accesses {
+            return Err(DecodeError::CountMismatch {
+                what: "access",
+                declared: buf.accesses,
+                actual: accesses,
+            });
+        }
+        // Restore the encoder state a live capture of this stream would
+        // have left, so further appends stay consistent. (Scope balance
+        // was already proven, so the open-scope stack is empty.)
+        buf.checkpoints = checkpoints;
+        buf.last_addr = last_addr;
+        buf.last_ref = last_ref;
+        buf.open_scopes = Vec::new();
+        Ok(buf)
+    }
+
     /// Iterates over the captured stream as decoded [`Event`]s.
     pub fn iter(&self) -> TraceIter<'_> {
         TraceIter {
@@ -721,11 +853,17 @@ struct Decoder<'b> {
     next: u64,
     addr: u64,
     r: u32,
+    accesses: u64,
     addr_pos: usize,
     ref_pos: usize,
     size_pos: usize,
     scope_pos: usize,
-    open_scopes: Vec<u32>,
+    /// Open scopes with the access count at entry — the same shape the
+    /// capture-side checkpoint index records, so [`import`] can snapshot
+    /// checkpoints straight off the validating scan.
+    ///
+    /// [`import`]: TraceBuffer::import
+    open_scopes: Vec<(u32, u64)>,
 }
 
 impl<'b> Decoder<'b> {
@@ -752,6 +890,7 @@ impl<'b> Decoder<'b> {
             next: 0,
             addr: 0,
             r: 0,
+            accesses: 0,
             addr_pos: 0,
             ref_pos: 0,
             size_pos: 0,
@@ -787,6 +926,7 @@ impl<'b> Decoder<'b> {
                 if size > u64::from(u32::MAX) {
                     return Err(DecodeError::SizeOutOfRange { event: i, value: size });
                 }
+                self.accesses += 1;
                 Ok(Some(Event::Access {
                     r: RefId(self.r),
                     addr: self.addr,
@@ -806,19 +946,38 @@ impl<'b> Decoder<'b> {
                 }
                 let scope = scope as u32;
                 if op == OP_ENTER {
-                    self.open_scopes.push(scope);
+                    self.open_scopes.push((scope, self.accesses));
                     Ok(Some(Event::Enter(ScopeId(scope))))
                 } else {
                     match self.open_scopes.pop() {
-                        Some(top) if top == scope => Ok(Some(Event::Exit(ScopeId(scope)))),
+                        Some((top, _)) if top == scope => {
+                            Ok(Some(Event::Exit(ScopeId(scope))))
+                        }
                         expected => Err(DecodeError::UnbalancedExit {
                             event: i,
                             scope,
-                            expected,
+                            expected: expected.map(|(s, _)| s),
                         }),
                     }
                 }
             }
+        }
+    }
+
+    /// Snapshots the decoder state at the current event boundary as a
+    /// [`Checkpoint`] — identical to what capture would have recorded at
+    /// this point in the stream.
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            event: self.next,
+            accesses: self.accesses,
+            addr_pos: self.addr_pos,
+            ref_pos: self.ref_pos,
+            size_pos: self.size_pos,
+            scope_pos: self.scope_pos,
+            last_addr: self.addr,
+            last_ref: self.r,
+            open_scopes: self.open_scopes.clone(),
         }
     }
 
@@ -1214,6 +1373,91 @@ mod tests {
         let mut honest = buf.clone();
         honest.checkpoints.clear();
         assert_eq!(states, honest.segment_states(3));
+    }
+
+    /// Like [`scoped_workload`] but scope-balanced, so the stream survives
+    /// the validating decoder (`scoped_workload` can leave an inner scope
+    /// open when `n` lands mid-group — harmless for unchecked replay,
+    /// rightly rejected by [`TraceBuffer::import`]).
+    fn balanced_workload(n: u64) -> TraceBuffer {
+        let mut buf = TraceBuffer::new();
+        buf.enter(ScopeId(1));
+        let mut open = None;
+        for i in 0..n {
+            if i % 97 == 0 {
+                let s = ScopeId(2 + (i % 3) as u32);
+                buf.enter(s);
+                open = Some(s);
+            }
+            let kind = if i % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+            buf.access(
+                RefId((i % 5) as u32),
+                0x1_0000 + (i * 24) % 4096 + (i / 11) * 64,
+                8,
+                kind,
+            );
+            if i % 97 == 96 {
+                buf.exit(open.take().expect("group opened at i % 97 == 0"));
+            }
+        }
+        if let Some(s) = open {
+            buf.exit(s);
+        }
+        buf.exit(ScopeId(1));
+        buf
+    }
+
+    #[test]
+    fn export_import_round_trip_is_bit_identical() {
+        let buf = balanced_workload(2 * CHECKPOINT_EVERY + 1_234);
+        let imported = TraceBuffer::import(buf.export()).expect("clean image imports");
+        // The regenerated checkpoint index matches capture's exactly, so
+        // seeks behave identically — not just equivalently.
+        assert_eq!(imported.checkpoints, buf.checkpoints);
+        assert_eq!(imported.last_addr, buf.last_addr);
+        assert_eq!(imported.last_ref, buf.last_ref);
+        let mut original = VecSink::new();
+        buf.replay(&mut original);
+        let mut replayed = VecSink::new();
+        imported.replay(&mut replayed);
+        assert_eq!(original, replayed);
+        for parts in [2usize, 3, 8] {
+            assert_eq!(imported.segment_states(parts), buf.segment_states(parts));
+        }
+        // Empty buffers round-trip too.
+        let empty = TraceBuffer::import(TraceBuffer::new().export()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn import_rejects_corrupt_and_inconsistent_images() {
+        let buf = balanced_workload(3_000);
+        // Declared access count disagreeing with the columns.
+        let mut lying = buf.export();
+        lying.accesses += 1;
+        match TraceBuffer::import(lying).unwrap_err() {
+            DecodeError::CountMismatch { what, declared, actual } => {
+                assert_eq!(what, "event");
+                assert_eq!(declared, buf.events());
+                assert_eq!(actual, buf.events() + 1);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // Counts that sum correctly but still disagree with the stream.
+        let mut swapped = buf.export();
+        swapped.accesses -= 1;
+        swapped.scope_events += 1;
+        match TraceBuffer::import(swapped).unwrap_err() {
+            DecodeError::CountMismatch { what, .. } => assert_eq!(what, "access"),
+            other => panic!("unexpected error: {other}"),
+        }
+        // A truncated column is caught by the validating decoder.
+        let mut torn = buf.export();
+        torn.addr_bytes.truncate(torn.addr_bytes.len() / 2);
+        assert!(matches!(
+            TraceBuffer::import(torn).unwrap_err(),
+            DecodeError::Truncated { .. } | DecodeError::VarintOverflow { .. }
+        ));
     }
 
     #[test]

@@ -124,6 +124,16 @@ pub enum DecodeError {
         /// Total bytes the column holds.
         len: usize,
     },
+    /// A declared count field did not match what decoding observed —
+    /// an imported image whose header disagrees with its own columns.
+    CountMismatch {
+        /// Which count disagreed (`"access"` or `"event"`).
+        what: &'static str,
+        /// The count the image declared.
+        declared: u64,
+        /// The count decoding actually observed.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -160,6 +170,10 @@ impl fmt::Display for DecodeError {
                 f,
                 "{column} column has {} trailing byte(s) ({consumed} consumed of {len})",
                 len - consumed
+            ),
+            DecodeError::CountMismatch { what, declared, actual } => write!(
+                f,
+                "declared {what} count {declared} does not match decoded {actual}"
             ),
         }
     }

@@ -19,7 +19,12 @@
 //!   (Corruptor::flip_bytes), [`flip_header`](Corruptor::flip_header),
 //!   [`truncate_bytes`](Corruptor::truncate_bytes),
 //!   [`trailing_garbage`](Corruptor::trailing_garbage)) for mutating
-//!   on-disk snapshot images the same seeded way buffers are mutated.
+//!   on-disk snapshot images the same seeded way buffers are mutated;
+//! * **hostile requests** — [`splice_bytes`](Corruptor::splice_bytes) and
+//!   [`garbage_line`](Corruptor::garbage_line) mutate daemon request
+//!   bytes (overwriting rather than xoring, so non-UTF-8 garbage lands
+//!   inside otherwise well-formed JSON lines) for the protocol fuzz
+//!   suite.
 //!
 //! Everything is seeded through [`SplitMix64`], so a failing case is
 //! reproducible from its seed alone. The module ships in the library (not
@@ -252,6 +257,30 @@ impl Corruptor {
         }
         out
     }
+
+    /// Returns a copy of `bytes` with `n` random bytes *overwritten* by
+    /// random values (not xored) — unlike [`flip_bytes`](Self::flip_bytes)
+    /// this can land arbitrary bytes, including ones that break UTF-8,
+    /// inside an otherwise well-formed request line. Empty input is
+    /// returned unchanged. The protocol-fuzz analogue of `bit_flips`.
+    pub fn splice_bytes(&mut self, bytes: &[u8], n: usize) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        for _ in 0..n {
+            let byte = self.rng.gen_range(0..out.len() as u64) as usize;
+            out[byte] = self.rng.gen_range(0..256) as u8;
+        }
+        out
+    }
+
+    /// Returns `len` uniformly random bytes — a request line that never
+    /// was JSON. Useful as the zero-structure end of a protocol fuzz
+    /// spectrum (valid request → spliced request → pure noise).
+    pub fn garbage_line(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.rng.gen_range(0..256) as u8).collect()
+    }
 }
 
 /// An [`io::Write`] adapter that forwards exactly `fail_after` bytes to
@@ -470,6 +499,22 @@ mod tests {
         assert!(Corruptor::new(1).flip_bytes(&[], 3).is_empty());
         assert!(Corruptor::new(1).flip_header(&[], 8).is_empty());
         assert!(Corruptor::new(1).truncate_bytes(&[]).is_empty());
+    }
+
+    #[test]
+    fn request_mutators_are_deterministic_and_shaped() {
+        let line = br#"{"kind":"capture","id":"t1","workload":"sweep3d"}"#;
+        let a = Corruptor::new(11).splice_bytes(line, 6);
+        let b = Corruptor::new(11).splice_bytes(line, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), line.len());
+        assert_ne!(a, line.to_vec());
+        assert!(Corruptor::new(11).splice_bytes(&[], 6).is_empty());
+
+        let g = Corruptor::new(11).garbage_line(32);
+        assert_eq!(g, Corruptor::new(11).garbage_line(32));
+        assert_eq!(g.len(), 32);
+        assert!(Corruptor::new(11).garbage_line(0).is_empty());
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod event;
 mod exec;
 pub mod fault;
 
-pub use buffer::{BufferStats, CheckedIter, SegmentState, TraceBuffer, TraceIter};
+pub use buffer::{BufferStats, CheckedIter, ExportedTrace, SegmentState, TraceBuffer, TraceIter};
 pub use decode::{Column, DecodeError};
 pub use event::{AccessRecord, Event, NullSink, SoaBatch, TeeSink, TraceSink, VecSink};
 pub use exec::{ExecError, ExecReport, Executor, LoopStats};

@@ -61,6 +61,17 @@ cargo test -q --test static_vs_dynamic
 # files, and checkpoint-counter reconciliation against the files on disk.
 cargo test -q -p reuselens-core --test checkpoint_resume
 
+# Daemon + trace-store batteries (DESIGN §4.15), named explicitly:
+# stored-trace replay bit-identity across workloads/grains/sampling/
+# threads, every-truncation + every-bit-flip corruption detection over
+# segment and index files, protocol fuzz (hostile request lines always
+# answer typed, daemon never dies), and the multi-client concurrency
+# stress with counter/JSONL/completion-record reconciliation.
+cargo test -q --test store_identity
+cargo test -q --test store_corruption
+cargo test -q --test protocol_fuzz
+cargo test -q --test daemon_stress
+
 cargo clippy --workspace --all-targets --no-deps -- -D warnings
 
 # Kill-and-resume CLI smoke: a checkpointed run whose newest snapshot is
@@ -112,6 +123,26 @@ wait "$SRV_PID"
 grep -q '"event":"run_finished"' "$SRV_TMP/events.jsonl" \
     || { echo "verify: JSONL log missing run_finished" >&2; exit 1; }
 rm -rf "$SRV_TMP"
+
+# Daemon CLI smoke: start `reuselens serve` over stdin with one worker
+# (serial semantics, so the replays see the capture), run a capture and
+# two replays saving profiles to disk, and require the two saved profile
+# files byte-identical — the stored trace round-trips deterministically.
+# EOF on stdin is the clean-shutdown path.
+DMN_TMP="target/verify-daemon"
+rm -rf "$DMN_TMP" && mkdir -p "$DMN_TMP"
+printf '%s\n' \
+    '{"kind":"capture","id":"smoke","workload":"sweep3d","mesh":6,"grains":[64]}' \
+    '{"kind":"replay","id":"smoke","grains":[64],"save":"target/verify-daemon/a.rlp"}' \
+    '{"kind":"replay","id":"smoke","grains":[64],"save":"target/verify-daemon/b.rlp"}' \
+    | ./target/release/reuselens serve --store "$DMN_TMP/store" \
+        --stdin --workers 1 > "$DMN_TMP/responses.ndjson" 2>/dev/null
+[ "$(grep -c '"ok":true' "$DMN_TMP/responses.ndjson")" = 3 ] \
+    || { echo "verify: daemon smoke had a failing job" >&2; \
+         cat "$DMN_TMP/responses.ndjson" >&2; exit 1; }
+cmp "$DMN_TMP/a.rlp" "$DMN_TMP/b.rlp" \
+    || { echo "verify: daemon replays disagree" >&2; exit 1; }
+rm -rf "$DMN_TMP"
 
 # Informational perf smoke: exercises the bench-runner end to end and
 # refreshes a throwaway snapshot, but never gates on machine speed (no

@@ -70,6 +70,21 @@ WORKLOADS:
         --at <N>           problem size to predict    (required)
         --level <L>        cache level                [default: L2]
         <FILES...>         profiles saved with --save-profile
+    serve       analysis daemon over an on-disk trace store (DESIGN §4.15)
+        --store <DIR>      trace-store directory      (required)
+        --listen <ADDR>    accept NDJSON requests over TCP ('127.0.0.1:0'
+                           picks a free port; the bound address prints
+                           to stderr)
+        --stdin            read NDJSON requests from stdin, answer on
+                           stdout in request order; exits at EOF
+        --workers <N>      job worker threads         [default: 2]
+        --queue <N>        queued jobs before 'overloaded' rejections
+                                                      [default: 16]
+        --scale <S>        capacity divisor for estimate jobs
+                                                      [default: 16]
+        --serve-metrics <ADDR>  HTTP telemetry with a daemon /jobs
+                           endpoint alongside /metrics and /healthz
+        --log-jsonl <PATH> append job lifecycle events as JSONL
 
 COMMON OPTIONS:
     --scale <S>     divide Itanium2 capacities by S   [default: 16]
@@ -129,6 +144,9 @@ EXAMPLES:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
     let flag_value = |key: &str| {
         args.windows(2)
             .find(|w| w[0] == key)
@@ -260,6 +278,146 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `reuselens serve`: start the analysis daemon over a trace store and
+/// answer NDJSON jobs on TCP, stdin, or both (DESIGN §4.15).
+fn run_serve(args: &[String]) -> ExitCode {
+    let flags = Flags { args };
+    let fail = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        eprintln!("\n{USAGE}");
+        ExitCode::FAILURE
+    };
+    let Some(store_dir) = flags.value("--store") else {
+        return fail("serve requires --store <DIR>".into());
+    };
+    let listen = flags.value("--listen");
+    let use_stdin = flags.flag("--stdin");
+    if listen.is_none() && !use_stdin {
+        return fail("serve needs --listen <ADDR>, --stdin, or both".into());
+    }
+    let workers = match flags.parsed("--workers", 2usize) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => return fail("--workers must be at least 1".into()),
+        Err(e) => return fail(e),
+    };
+    let queue = match flags.parsed("--queue", 16usize) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => return fail("--queue must be at least 1".into()),
+        Err(e) => return fail(e),
+    };
+    let scale = match flags.parsed("--scale", 16u64) {
+        Ok(s) if s >= 1 => s,
+        Ok(_) => return fail("--scale must be at least 1".into()),
+        Err(e) => return fail(e),
+    };
+    // Counters/gauges and the JSONL event stream reconcile against the
+    // daemon's completion records, so the recorder is always on.
+    let recorder = std::sync::Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
+    let events = match flags.value("--log-jsonl") {
+        None => None,
+        Some(target) => {
+            let log = if target == "-" {
+                obs::EventLog::stderr()
+            } else {
+                match obs::EventLog::create(std::path::Path::new(target)) {
+                    Ok(log) => log,
+                    Err(e) => return fail(format!("cannot create event log {target}: {e}")),
+                }
+            };
+            let log = std::sync::Arc::new(log);
+            obs::install_events(log.clone());
+            Some(log)
+        }
+    };
+    obs::emit(obs::EventKind::RunStarted {
+        command: std::iter::once("serve")
+            .chain(args.iter().map(String::as_str))
+            .collect::<Vec<_>>()
+            .join(" "),
+    });
+    let mut config = reuselens::serve::DaemonConfig::new(store_dir);
+    config.workers = workers;
+    config.queue = queue;
+    config.scale = scale;
+    let daemon = match reuselens::serve::Daemon::start(config) {
+        Ok(daemon) => std::sync::Arc::new(daemon),
+        Err(e) => return fail(format!("cannot open store {store_dir}: {e}")),
+    };
+    let service = match flags.value("--serve-metrics") {
+        None => None,
+        Some(addr) => {
+            let mut service = obs::TelemetryService::start(
+                recorder.clone(),
+                None,
+                obs::ServiceConfig {
+                    jobs: Some(daemon.jobs_callback()),
+                    ..obs::ServiceConfig::default()
+                },
+            );
+            match service.serve(addr) {
+                Ok(bound) => eprintln!("serving telemetry on http://{bound}/"),
+                Err(e) => {
+                    daemon.shutdown();
+                    return fail(format!("cannot serve telemetry on {addr}: {e}"));
+                }
+            }
+            Some(service)
+        }
+    };
+    if let Some(addr) = listen {
+        match daemon.serve(addr) {
+            Ok(bound) => eprintln!("accepting analysis jobs on {bound}"),
+            Err(e) => {
+                daemon.shutdown();
+                return fail(format!("cannot listen on {addr}: {e}"));
+            }
+        }
+    }
+    let result = if use_stdin {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        reuselens::serve::run_stdin(&daemon, stdin.lock(), stdout.lock())
+    } else {
+        // TCP-only mode: stay up until stdin reaches EOF (Ctrl-D, or the
+        // supervisor closing the pipe), then drain and exit cleanly.
+        eprintln!("close stdin (Ctrl-D) to shut down");
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            match std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        Ok(())
+    };
+    daemon.shutdown();
+    obs::emit(obs::EventKind::RunFinished {
+        ok: result.is_ok(),
+    });
+    if let Some(service) = service {
+        service.shutdown();
+    }
+    if let Some(events) = &events {
+        obs::uninstall_events();
+        if events.write_errors() > 0 {
+            eprintln!(
+                "warning: {} event-log write(s) failed",
+                events.write_errors()
+            );
+        }
+    }
+    obs::uninstall();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: stdin transport failed: {e}");
             ExitCode::FAILURE
         }
     }

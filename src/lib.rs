@@ -115,3 +115,11 @@ pub mod workloads {
 pub mod obs {
     pub use reuselens_obs::*;
 }
+
+/// On-disk columnar trace store: CRC-framed segments plus an index file,
+/// published atomically so readers never observe a half-written trace.
+pub mod store {
+    pub use reuselens_store::*;
+}
+
+pub mod serve;

@@ -1,0 +1,1940 @@
+//! Analysis-as-a-service: a long-running daemon that accepts analysis
+//! jobs over a newline-delimited JSON protocol and persists captured
+//! traces in an on-disk [`TraceStore`](reuselens_store::TraceStore).
+//!
+//! One request per line, one response per line. A request is a flat JSON
+//! object whose `kind` field selects the job:
+//!
+//! | kind       | does                                                    |
+//! |------------|---------------------------------------------------------|
+//! | `capture`  | build a workload, capture its trace, store it under `id`|
+//! | `replay`   | load a stored trace, replay it at the requested grains  |
+//! | `estimate` | run the zero-trace symbolic estimator on a workload     |
+//! | `list`     | enumerate stored traces                                 |
+//! | `evict`    | remove a stored trace (index first, then segments)      |
+//! | `ping`     | liveness check                                          |
+//! | `sleep`    | hold a worker for `ms` milliseconds (diagnostics/tests) |
+//!
+//! Responses are `{"ok":true,"job":"job-N","kind":...,"seq":S,...}` or
+//! `{"ok":false,"job":"job-N","error":{"type":T,"message":M}}`. `seq` is
+//! the global completion order — jobs finish concurrently, and the
+//! sequence number is the daemon's own record of who finished when.
+//!
+//! The full protocol grammar, byte layouts, and the job lifecycle state
+//! machine are specified in `DESIGN.md` §4.15.
+//!
+//! # Shape
+//!
+//! A [`Daemon`] owns a bounded worker pool (default 2 workers) over a
+//! bounded queue. [`Daemon::submit_line`] never blocks: a malformed
+//! request or a full queue yields an immediate typed rejection; an
+//! accepted job is queued and answered through the returned channel when
+//! a worker completes it. Every job runs under `catch_unwind`, so a
+//! panicking workload kills one job, not the daemon.
+//!
+//! Transports are thin wrappers over `submit_line`:
+//!
+//! * [`Daemon::serve`] binds a TCP listener; each connection reads
+//!   request lines and writes response lines back in request order.
+//! * [`run_stdin`] drives the same loop over stdin/stdout for
+//!   `reuselens serve --stdin` (pipelines, tests, environments without
+//!   a free port).
+//!
+//! Telemetry rides the PR 9 plumbing: `jobs_accepted` /
+//! `jobs_completed` / `jobs_failed` / `jobs_rejected` counters, the
+//! `job_queue_depth` gauge, per-job JSONL events, and a `/jobs` HTTP
+//! endpoint fed by [`Daemon::jobs_callback`].
+
+use reuselens_core::{
+    analyze_buffer_with, capture_program, write_profiles, AnalysisBudget, AnalyzeOptions,
+    ReplayThreads, SamplingConfig, SavedProfiles,
+};
+use reuselens_metrics::run_locality_estimate;
+use reuselens_obs as obs;
+use reuselens_store::{self as store, StoreError, TraceMeta, TraceStore};
+use reuselens_workloads::gtc::{build as build_gtc, GtcConfig, GtcTransforms};
+use reuselens_workloads::kernels;
+use reuselens_workloads::sweep3d::{build as build_sweep, SweepConfig};
+use reuselens_workloads::BuiltWorkload;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line, in bytes. Anything longer is rejected
+/// with a typed `parse` error before JSON parsing even starts.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Longest accepted JSON string value.
+pub const MAX_STRING_LEN: usize = 4096;
+
+/// Longest accepted JSON array value.
+pub const MAX_ARRAY_LEN: usize = 1024;
+
+/// Concurrent TCP connections; clients past this get one error line and
+/// a closed socket instead of a growing backlog.
+const MAX_CONNECTIONS: usize = 32;
+
+/// Upper bound on `sleep` jobs, so a hostile request cannot pin a worker
+/// for longer than this.
+const MAX_SLEEP_MS: u64 = 10_000;
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong with one request, typed so clients can
+/// dispatch on `error.type` instead of scraping messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The line was not a well-formed request (bad UTF-8, bad JSON,
+    /// oversized, nested where flat was required...).
+    Parse(String),
+    /// The `kind` field named no known job.
+    UnknownKind(String),
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field was present but unusable.
+    InvalidField {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The job queue was full — the 429 of this protocol. Retry later.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        queue: usize,
+    },
+    /// The daemon is draining; no new jobs are accepted.
+    ShuttingDown,
+    /// The trace store refused the operation.
+    Store(StoreError),
+    /// The workload could not be built or executed.
+    Exec(String),
+    /// Replay finished but one or more grains failed.
+    Analysis(String),
+    /// The job panicked; the message is the payload when it was a string.
+    Panic(String),
+    /// A side output (e.g. `save`) could not be written.
+    Io(String),
+}
+
+impl ServeError {
+    /// The machine-readable `error.type` tag.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ServeError::Parse(_) => "parse",
+            ServeError::UnknownKind(_) => "unknown-kind",
+            ServeError::MissingField(_) => "missing-field",
+            ServeError::InvalidField { .. } => "invalid-field",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutdown",
+            ServeError::Store(e) => match e {
+                StoreError::UnknownTrace { .. } => "unknown-trace",
+                StoreError::DuplicateTrace { .. } => "duplicate-trace",
+                StoreError::InvalidId { .. } => "invalid-id",
+                _ => "store",
+            },
+            ServeError::Exec(_) => "exec",
+            ServeError::Analysis(_) => "analysis",
+            ServeError::Panic(_) => "panic",
+            ServeError::Io(_) => "io",
+        }
+    }
+
+    /// True for errors raised before the job ever ran (counted as
+    /// `jobs_rejected`); false for execution failures (`jobs_failed`).
+    pub fn is_rejection(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Parse(_)
+                | ServeError::UnknownKind(_)
+                | ServeError::MissingField(_)
+                | ServeError::InvalidField { .. }
+                | ServeError::Overloaded { .. }
+                | ServeError::ShuttingDown
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(m) => write!(f, "malformed request: {m}"),
+            ServeError::UnknownKind(k) => write!(f, "unknown job kind '{k}'"),
+            ServeError::MissingField(name) => write!(f, "missing required field '{name}'"),
+            ServeError::InvalidField { field, why } => {
+                write!(f, "invalid field '{field}': {why}")
+            }
+            ServeError::Overloaded { queue } => {
+                write!(f, "job queue full ({queue} waiting); retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ServeError::Store(e) => write!(f, "{e}"),
+            ServeError::Exec(m) => write!(f, "workload execution failed: {m}"),
+            ServeError::Analysis(m) => write!(f, "replay failed: {m}"),
+            ServeError::Panic(m) => write!(f, "job panicked: {m}"),
+            ServeError::Io(m) => write!(f, "i/o failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> ServeError {
+        ServeError::Store(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict flat-JSON request parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. The protocol is deliberately flat: a request is
+/// one object whose values are scalars or arrays of scalars — nested
+/// objects are rejected with a typed error.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type Fields = Vec<(String, Json)>;
+
+impl<'a> JsonParser<'a> {
+    fn new(bytes: &'a [u8]) -> JsonParser<'a> {
+        JsonParser { bytes, pos: 0 }
+    }
+
+    fn err(&self, what: impl fmt::Display) -> ServeError {
+        ServeError::Parse(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ServeError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format_args!("expected '{}'", b as char)))
+        }
+    }
+
+    /// Parses the single top-level object and requires end of input.
+    fn object(mut self) -> Result<Fields, ServeError> {
+        self.expect(b'{')?;
+        let mut fields = Fields::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(self.err(format_args!("duplicate field '{key}'")));
+                }
+                self.expect(b':')?;
+                let value = self.value(0)?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing bytes after request object"));
+        }
+        Ok(fields)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ServeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                if depth > 0 {
+                    return Err(self.err("nested arrays are not allowed"));
+                }
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    if items.len() > MAX_ARRAY_LEN {
+                        return Err(self.err(format_args!(
+                            "array exceeds {MAX_ARRAY_LEN} elements"
+                        )));
+                    }
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => Err(self.err("nested objects are not allowed")),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, value: Json) -> Result<Json, ServeError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format_args!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ServeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format_args!("bad number '{text}'")))?;
+        if !n.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, ServeError> {
+        self.skip_ws();
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected a string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            if out.len() > MAX_STRING_LEN {
+                return Err(self.err(format_args!("string exceeds {MAX_STRING_LEN} bytes")));
+            }
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(
+                                self.err(format_args!("bad escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control byte in string")),
+                _ => {
+                    // Re-scan the full UTF-8 sequence starting at c.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c).ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ServeError> {
+        let first = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&first) {
+            // High surrogate: require the paired low surrogate.
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(self.err("lone high surrogate"));
+            }
+            self.pos += 2;
+            let second = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&second) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xDC00..=0xDFFF).contains(&first) {
+            Err(self.err("lone low surrogate"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ServeError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text =
+            std::str::from_utf8(chunk).map_err(|_| self.err("non-hex \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("non-hex \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+/// Bytes in the UTF-8 sequence led by `first`, or `None` for an invalid
+/// lead byte (continuation bytes and overlong leads).
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x20..=0x7f => Some(1),
+        0xc2..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf4 => Some(4),
+        _ => None,
+    }
+}
+
+// --- field accessors over the parsed object --------------------------------
+
+fn field<'a>(fields: &'a Fields, name: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn req_str(fields: &Fields, name: &'static str) -> Result<String, ServeError> {
+    match field(fields, name) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(ServeError::InvalidField {
+            field: name,
+            why: "expected a string".into(),
+        }),
+        None => Err(ServeError::MissingField(name)),
+    }
+}
+
+fn opt_str(fields: &Fields, name: &'static str) -> Result<Option<String>, ServeError> {
+    match field(fields, name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ServeError::InvalidField {
+            field: name,
+            why: "expected a string".into(),
+        }),
+    }
+}
+
+fn as_u64(name: &'static str, n: f64) -> Result<u64, ServeError> {
+    if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
+        Ok(n as u64)
+    } else {
+        Err(ServeError::InvalidField {
+            field: name,
+            why: format!("expected a non-negative integer, got {n}"),
+        })
+    }
+}
+
+fn opt_u64(fields: &Fields, name: &'static str) -> Result<Option<u64>, ServeError> {
+    match field(fields, name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(as_u64(name, *n)?)),
+        Some(_) => Err(ServeError::InvalidField {
+            field: name,
+            why: "expected an integer".into(),
+        }),
+    }
+}
+
+fn opt_bool(fields: &Fields, name: &'static str) -> Result<bool, ServeError> {
+    match field(fields, name) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(ServeError::InvalidField {
+            field: name,
+            why: "expected a boolean".into(),
+        }),
+    }
+}
+
+fn opt_u64_array(fields: &Fields, name: &'static str) -> Result<Vec<u64>, ServeError> {
+    match field(fields, name) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Num(n) => as_u64(name, *n),
+                _ => Err(ServeError::InvalidField {
+                    field: name,
+                    why: "expected an array of integers".into(),
+                }),
+            })
+            .collect(),
+        Some(_) => Err(ServeError::InvalidField {
+            field: name,
+            why: "expected an array of integers".into(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload specs
+// ---------------------------------------------------------------------------
+
+/// A buildable workload description, parsed from a request and stored
+/// verbatim (as its canonical spec string) with every captured trace so
+/// replay jobs can rebuild the exact program the trace came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// `"sweep3d"`, `"gtc"`, or `"kernel:<name>"`.
+    pub kind: String,
+    /// Sweep3D cubic mesh extent.
+    pub mesh: Option<u64>,
+    /// Sweep3D angle-blocking factor.
+    pub block: Option<u64>,
+    /// Sweep3D dimension interchange.
+    pub dim_ic: bool,
+    /// Sweep3D octant restructuring.
+    pub octant_inner: bool,
+    /// Simulated time steps (Sweep3D and GTC).
+    pub timesteps: Option<u64>,
+    /// GTC grid points.
+    pub mgrid: Option<u64>,
+    /// GTC particles per cell.
+    pub micell: Option<u64>,
+    /// GTC cumulative transformation variant (0..=6).
+    pub variant: Option<u64>,
+}
+
+impl WorkloadSpec {
+    /// Parses the workload fields out of a request object.
+    fn from_fields(fields: &Fields) -> Result<WorkloadSpec, ServeError> {
+        let kind = req_str(fields, "workload")?;
+        let spec = WorkloadSpec {
+            kind,
+            mesh: opt_u64(fields, "mesh")?,
+            block: opt_u64(fields, "block")?,
+            dim_ic: opt_bool(fields, "dim_ic")?,
+            octant_inner: opt_bool(fields, "octant_inner")?,
+            timesteps: opt_u64(fields, "timesteps")?,
+            mgrid: opt_u64(fields, "mgrid")?,
+            micell: opt_u64(fields, "micell")?,
+            variant: opt_u64(fields, "variant")?,
+        };
+        spec.check()?;
+        Ok(spec)
+    }
+
+    /// Validates the spec shape without building it.
+    fn check(&self) -> Result<(), ServeError> {
+        match self.kind.as_str() {
+            "sweep3d" | "gtc" => {}
+            k if k.strip_prefix("kernel:").is_some_and(|n| !n.is_empty()) => {}
+            other => {
+                return Err(ServeError::InvalidField {
+                    field: "workload",
+                    why: format!(
+                        "unknown workload '{other}' (want sweep3d, gtc, or kernel:<name>)"
+                    ),
+                })
+            }
+        }
+        if self.variant.is_some_and(|v| v > 6) {
+            return Err(ServeError::InvalidField {
+                field: "variant",
+                why: "must be 0..=6".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The canonical spec string stored in [`TraceMeta::workload`]:
+    /// `kind key=value... flag...`, explicitly-set fields only, fixed
+    /// order — two equal specs render identically.
+    pub fn to_spec_string(&self) -> String {
+        let mut out = self.kind.clone();
+        let mut kv = |name: &str, v: Option<u64>| {
+            if let Some(v) = v {
+                let _ = write!(out, " {name}={v}");
+            }
+        };
+        kv("mesh", self.mesh);
+        kv("block", self.block);
+        kv("timesteps", self.timesteps);
+        kv("mgrid", self.mgrid);
+        kv("micell", self.micell);
+        kv("variant", self.variant);
+        if self.dim_ic {
+            out.push_str(" dim-ic");
+        }
+        if self.octant_inner {
+            out.push_str(" octant-inner");
+        }
+        out
+    }
+
+    /// Parses a canonical spec string back (the replay path: the stored
+    /// trace's metadata → the program that produced it).
+    pub fn from_spec_string(spec: &str) -> Result<WorkloadSpec, ServeError> {
+        let mut tokens = spec.split_whitespace();
+        let kind = tokens
+            .next()
+            .ok_or_else(|| ServeError::Parse("empty workload spec".into()))?;
+        let mut out = WorkloadSpec {
+            kind: kind.to_string(),
+            mesh: None,
+            block: None,
+            dim_ic: false,
+            octant_inner: false,
+            timesteps: None,
+            mgrid: None,
+            micell: None,
+            variant: None,
+        };
+        for token in tokens {
+            match token {
+                "dim-ic" => out.dim_ic = true,
+                "octant-inner" => out.octant_inner = true,
+                kv => {
+                    let (key, value) = kv.split_once('=').ok_or_else(|| {
+                        ServeError::Parse(format!("bad spec token '{kv}'"))
+                    })?;
+                    let value: u64 = value.parse().map_err(|_| {
+                        ServeError::Parse(format!("bad spec value in '{kv}'"))
+                    })?;
+                    match key {
+                        "mesh" => out.mesh = Some(value),
+                        "block" => out.block = Some(value),
+                        "timesteps" => out.timesteps = Some(value),
+                        "mgrid" => out.mgrid = Some(value),
+                        "micell" => out.micell = Some(value),
+                        "variant" => out.variant = Some(value),
+                        other => {
+                            return Err(ServeError::Parse(format!(
+                                "unknown spec key '{other}'"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        out.check()?;
+        Ok(out)
+    }
+
+    /// Builds the workload (same defaults as the CLI).
+    pub fn build(&self) -> Result<BuiltWorkload, ServeError> {
+        match self.kind.as_str() {
+            "sweep3d" => {
+                let mut cfg = SweepConfig::new(self.mesh.unwrap_or(12))
+                    .with_timesteps(self.timesteps.unwrap_or(1));
+                if self.octant_inner {
+                    cfg = cfg.with_octant_inner();
+                } else {
+                    cfg = cfg.with_mi_block(self.block.unwrap_or(1));
+                }
+                if self.dim_ic {
+                    cfg = cfg.with_dim_interchange();
+                }
+                Ok(build_sweep(&cfg))
+            }
+            "gtc" => Ok(build_gtc(
+                &GtcConfig::new(self.mgrid.unwrap_or(512), self.micell.unwrap_or(16))
+                    .with_transforms(GtcTransforms::cumulative(
+                        self.variant.unwrap_or(0) as usize
+                    ))
+                    .with_timesteps(self.timesteps.unwrap_or(1)),
+            )),
+            other => {
+                let name = other.strip_prefix("kernel:").unwrap_or("");
+                match name {
+                    "fig1a" => Ok(kernels::fig1_interchange(
+                        512,
+                        2048,
+                        kernels::Fig1Variant::RowOrder,
+                    )),
+                    "fig1b" => Ok(kernels::fig1_interchange(
+                        512,
+                        2048,
+                        kernels::Fig1Variant::Interchanged,
+                    )),
+                    "fig2" => Ok(kernels::fig2_fragmentation(64, 16)),
+                    "stream" => Ok(kernels::streaming(1 << 16, 4)),
+                    "gather" => Ok(kernels::random_gather(1 << 15, 1 << 14, 3, 42)),
+                    "stencil" => Ok(kernels::stencil2d(128, 3)),
+                    "matmul" => Ok(kernels::matmul(96, None)),
+                    "matmul-tiled" => Ok(kernels::matmul(96, Some(16))),
+                    "transpose" => Ok(kernels::transpose(256)),
+                    _ => Err(ServeError::InvalidField {
+                        field: "workload",
+                        why: format!("unknown kernel '{name}'"),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+enum Request {
+    Capture {
+        id: String,
+        spec: WorkloadSpec,
+        grains: Vec<u64>,
+    },
+    Replay(ReplayRequest),
+    Estimate {
+        source: EstimateSource,
+    },
+    List,
+    Evict {
+        id: String,
+    },
+    Ping,
+    Sleep {
+        ms: u64,
+    },
+}
+
+/// What an `estimate` job runs the symbolic estimator over: a workload
+/// spec given inline, or the spec recorded with a stored trace.
+#[derive(Debug, Clone, PartialEq)]
+enum EstimateSource {
+    Spec(WorkloadSpec),
+    Stored(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ReplayRequest {
+    id: String,
+    grains: Vec<u64>,
+    sampling: SamplingConfig,
+    replay_threads: ReplayThreads,
+    budget_events: Option<u64>,
+    save: Option<String>,
+}
+
+impl Request {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Capture { .. } => "capture",
+            Request::Replay(_) => "replay",
+            Request::Estimate { .. } => "estimate",
+            Request::List => "list",
+            Request::Evict { .. } => "evict",
+            Request::Ping => "ping",
+            Request::Sleep { .. } => "sleep",
+        }
+    }
+}
+
+/// Parses one request line into a [`Request`] or a typed error. Never
+/// panics, whatever the bytes.
+fn parse_request(line: &[u8]) -> Result<Request, ServeError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ServeError::Parse(format!(
+            "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte cap",
+            line.len()
+        )));
+    }
+    let text = std::str::from_utf8(line)
+        .map_err(|e| ServeError::Parse(format!("request is not UTF-8: {e}")))?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ServeError::Parse("empty request line".into()));
+    }
+    let fields = JsonParser::new(trimmed.as_bytes()).object()?;
+    let kind = req_str(&fields, "kind")?;
+    match kind.as_str() {
+        "capture" => {
+            let id = req_str(&fields, "id")?;
+            store::validate_trace_id(&id).map_err(|e| ServeError::InvalidField {
+                field: "id",
+                why: e.to_string(),
+            })?;
+            let grains = opt_u64_array(&fields, "grains")?;
+            if grains.contains(&0) {
+                return Err(ServeError::InvalidField {
+                    field: "grains",
+                    why: "grains must be at least 1 byte".into(),
+                });
+            }
+            Ok(Request::Capture {
+                id,
+                spec: WorkloadSpec::from_fields(&fields)?,
+                grains,
+            })
+        }
+        "replay" => {
+            let id = req_str(&fields, "id")?;
+            let sampling = match (
+                field(&fields, "sample_rate"),
+                opt_u64(&fields, "sample_budget")?,
+            ) {
+                (None, None) => SamplingConfig::Exact,
+                (None, Some(budget)) if budget > 0 => SamplingConfig::adaptive(budget),
+                (None, Some(_)) => {
+                    return Err(ServeError::InvalidField {
+                        field: "sample_budget",
+                        why: "must be positive".into(),
+                    })
+                }
+                (Some(Json::Num(rate)), None) if *rate > 0.0 && *rate <= 1.0 => {
+                    SamplingConfig::fixed(*rate)
+                }
+                (Some(_), None) => {
+                    return Err(ServeError::InvalidField {
+                        field: "sample_rate",
+                        why: "must be a number in (0, 1]".into(),
+                    })
+                }
+                (Some(_), Some(_)) => {
+                    return Err(ServeError::InvalidField {
+                        field: "sample_rate",
+                        why: "cannot combine sample_rate with sample_budget".into(),
+                    })
+                }
+            };
+            let replay_threads = match field(&fields, "replay_threads") {
+                None | Some(Json::Null) => ReplayThreads::Serial,
+                Some(Json::Str(s)) if s == "auto" => ReplayThreads::Auto,
+                Some(Json::Num(n)) => {
+                    let n = as_u64("replay_threads", *n)?;
+                    if n == 0 {
+                        return Err(ServeError::InvalidField {
+                            field: "replay_threads",
+                            why: "must be at least 1".into(),
+                        });
+                    }
+                    ReplayThreads::Fixed(n as usize)
+                }
+                Some(_) => {
+                    return Err(ServeError::InvalidField {
+                        field: "replay_threads",
+                        why: "expected an integer or \"auto\"".into(),
+                    })
+                }
+            };
+            let grains = opt_u64_array(&fields, "grains")?;
+            if grains.contains(&0) {
+                return Err(ServeError::InvalidField {
+                    field: "grains",
+                    why: "grains must be at least 1 byte".into(),
+                });
+            }
+            Ok(Request::Replay(ReplayRequest {
+                id,
+                grains,
+                sampling,
+                replay_threads,
+                budget_events: opt_u64(&fields, "budget_events")?,
+                save: opt_str(&fields, "save")?,
+            }))
+        }
+        "estimate" => {
+            let source = if fields.iter().any(|(k, _)| k == "workload") {
+                EstimateSource::Spec(WorkloadSpec::from_fields(&fields)?)
+            } else if let Some(id) = opt_str(&fields, "id")? {
+                EstimateSource::Stored(id)
+            } else {
+                return Err(ServeError::MissingField("workload"));
+            };
+            Ok(Request::Estimate { source })
+        }
+        "list" => Ok(Request::List),
+        "evict" => Ok(Request::Evict {
+            id: req_str(&fields, "id")?,
+        }),
+        "ping" => Ok(Request::Ping),
+        "sleep" => Ok(Request::Sleep {
+            ms: opt_u64(&fields, "ms")?.unwrap_or(0).min(MAX_SLEEP_MS),
+        }),
+        other => Err(ServeError::UnknownKind(other.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn error_response(job: &str, e: &ServeError) -> String {
+    format!(
+        "{{\"ok\":false,\"job\":\"{}\",\"error\":{{\"type\":\"{}\",\"message\":\"{}\"}}}}",
+        json_escape(job),
+        e.type_name(),
+        json_escape(&e.to_string()),
+    )
+}
+
+fn ok_response(job: &str, kind: &str, seq: u64, payload: &str) -> String {
+    let mut out = format!(
+        "{{\"ok\":true,\"job\":\"{}\",\"kind\":\"{kind}\",\"seq\":{seq}",
+        json_escape(job)
+    );
+    if !payload.is_empty() {
+        out.push(',');
+        out.push_str(payload);
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The daemon
+// ---------------------------------------------------------------------------
+
+/// Tuning for a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Directory of the trace store (created if absent).
+    pub store_dir: PathBuf,
+    /// Worker threads executing jobs (min 1).
+    pub workers: usize,
+    /// Jobs allowed to wait on the queue before submissions are rejected
+    /// with `overloaded` (min 1).
+    pub queue: usize,
+    /// Hierarchy capacity divisor for `estimate` jobs (the CLI's
+    /// `--scale`).
+    pub scale: u64,
+}
+
+impl DaemonConfig {
+    /// A default-tuned config over `store_dir`: 2 workers, a 16-job
+    /// queue, scale 16.
+    pub fn new(store_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            store_dir: store_dir.into(),
+            workers: 2,
+            queue: 16,
+            scale: 16,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished with a success response.
+    Completed,
+    /// Finished with a typed error response.
+    Failed,
+    /// Refused before running (malformed, queue full, shutting down).
+    Rejected,
+}
+
+impl JobStatus {
+    /// The status name as rendered in `/jobs`.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Rejected => "rejected",
+        }
+    }
+}
+
+/// One job's row in the daemon's job table (the `/jobs` endpoint).
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job id (`job-N`, N increasing in submission order).
+    pub job: String,
+    /// The job kind, or `"?"` when the request never parsed.
+    pub kind: &'static str,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Global completion sequence number, once finished.
+    pub completed_seq: Option<u64>,
+    /// Wall time spent executing, once finished.
+    pub wall: Duration,
+    /// The error message, for failed and rejected jobs.
+    pub error: Option<String>,
+}
+
+struct QueuedJob {
+    job: String,
+    /// Index of this job's row in `State::records`.
+    record: usize,
+    request: Request,
+    reply: mpsc::Sender<String>,
+}
+
+struct State {
+    queue: VecDeque<QueuedJob>,
+    records: Vec<JobRecord>,
+    next_job: u64,
+    stop: bool,
+}
+
+struct Shared {
+    store: Mutex<TraceStore>,
+    state: Mutex<State>,
+    work: Condvar,
+    completion_seq: AtomicU64,
+    queue_cap: usize,
+    scale: u64,
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_store(&self) -> MutexGuard<'_, TraceStore> {
+        match self.store.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The analysis daemon: a bounded worker pool over a [`TraceStore`],
+/// driven by [`submit_line`](Daemon::submit_line) (and the TCP/stdin
+/// transports layered on it). See the module docs for the protocol.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    listener: Mutex<Option<Listener>>,
+}
+
+struct Listener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Daemon")
+            .field("workers", &self.worker_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Opens (creating if needed) the store and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-open failures (unreadable directory, corrupt
+    /// index).
+    pub fn start(config: DaemonConfig) -> Result<Daemon, StoreError> {
+        let store = TraceStore::open(&config.store_dir)?;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(store),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                records: Vec::new(),
+                next_job: 1,
+                stop: false,
+            }),
+            work: Condvar::new(),
+            completion_seq: AtomicU64::new(0),
+            queue_cap: config.queue.max(1),
+            scale: config.scale,
+        });
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .filter_map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("reuselens-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .ok()
+            })
+            .collect();
+        let worker_count = workers.len();
+        Ok(Daemon {
+            shared,
+            workers: Mutex::new(workers),
+            worker_count,
+            listener: Mutex::new(None),
+        })
+    }
+
+    /// Submits one raw request line. Never blocks: the response (success
+    /// or typed error) arrives on the returned channel — immediately for
+    /// rejections, after a worker finishes for accepted jobs.
+    pub fn submit_line(&self, line: &[u8]) -> mpsc::Receiver<String> {
+        let (tx, rx) = mpsc::channel();
+        let parsed = parse_request(line);
+        let mut st = self.shared.lock_state();
+        let n = st.next_job;
+        st.next_job += 1;
+        let job = format!("job-{n}");
+        let reject = |mut st: MutexGuard<'_, State>, kind: &'static str, e: &ServeError| {
+            st.records.push(JobRecord {
+                job: job.clone(),
+                kind,
+                status: JobStatus::Rejected,
+                completed_seq: None,
+                wall: Duration::ZERO,
+                error: Some(e.to_string()),
+            });
+            drop(st);
+            obs::add(obs::Counter::JobsRejected, 1);
+            obs::emit(obs::EventKind::JobRejected {
+                job: job.clone(),
+                reason: e.to_string(),
+            });
+            let _ = tx.send(error_response(&job, e));
+        };
+        match parsed {
+            Err(e) => reject(st, "?", &e),
+            Ok(request) => {
+                let kind = request.kind_name();
+                if st.stop {
+                    reject(st, kind, &ServeError::ShuttingDown);
+                } else if st.queue.len() >= self.shared.queue_cap {
+                    let e = ServeError::Overloaded {
+                        queue: self.shared.queue_cap,
+                    };
+                    reject(st, kind, &e);
+                } else {
+                    let record = st.records.len();
+                    st.records.push(JobRecord {
+                        job: job.clone(),
+                        kind,
+                        status: JobStatus::Queued,
+                        completed_seq: None,
+                        wall: Duration::ZERO,
+                        error: None,
+                    });
+                    st.queue.push_back(QueuedJob {
+                        job: job.clone(),
+                        record,
+                        request,
+                        reply: tx,
+                    });
+                    let depth = st.queue.len() as u64;
+                    drop(st);
+                    obs::add(obs::Counter::JobsAccepted, 1);
+                    obs::set_gauge(obs::Gauge::JobQueueDepth, depth);
+                    obs::emit(obs::EventKind::JobAccepted {
+                        job,
+                        kind: kind.to_string(),
+                    });
+                    self.shared.work.notify_one();
+                }
+            }
+        }
+        rx
+    }
+
+    /// A snapshot of the job table, submission order.
+    pub fn job_records(&self) -> Vec<JobRecord> {
+        self.shared.lock_state().records.clone()
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_state().queue.len()
+    }
+
+    /// Renders the job table as the `/jobs` JSON document.
+    pub fn jobs_json(&self) -> String {
+        jobs_json(&self.shared)
+    }
+
+    /// A callback rendering [`jobs_json`](Self::jobs_json), shaped for
+    /// [`ServiceConfig::jobs`](reuselens_obs::ServiceConfig) — wires the
+    /// telemetry service's `/jobs` endpoint to this daemon.
+    pub fn jobs_callback(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
+        let shared = self.shared.clone();
+        Arc::new(move || jobs_json(&shared))
+    }
+
+    /// Binds a TCP listener on `addr` (`"127.0.0.1:0"` picks a free
+    /// port); each connection is served request-line → response-line
+    /// until the client disconnects. Returns the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the address cannot be resolved or
+    /// bound. At most one listener per daemon.
+    pub fn serve(self: &Arc<Daemon>, addr: &str) -> io::Result<SocketAddr> {
+        let mut addrs = addr.to_socket_addrs()?;
+        let resolved = addrs.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no address for {addr:?}"),
+            )
+        })?;
+        let listener = TcpListener::bind(resolved)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let daemon = self.clone();
+        let thread = std::thread::Builder::new()
+            .name("reuselens-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_stop, &daemon))?;
+        let mut slot = match self.listener.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.is_some() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(local);
+            let _ = thread.join();
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                "daemon already has a listener",
+            ));
+        }
+        *slot = Some(Listener {
+            addr: local,
+            stop,
+            thread,
+        });
+        Ok(local)
+    }
+
+    /// Drains the queue, joins the workers, and stops the TCP listener
+    /// (if any). Every accepted job is completed and answered before the
+    /// workers exit — shutdown loses no responses. Idempotent: a second
+    /// call finds nothing left to join and returns immediately.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.lock_state();
+            st.stop = true;
+        }
+        self.shared.work.notify_all();
+        let workers = match self.workers.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let listener = match self.listener.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(listener) = listener {
+            listener.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(listener.addr);
+            let _ = listener.thread.join();
+        }
+    }
+}
+
+fn jobs_json(shared: &Arc<Shared>) -> String {
+    let st = shared.lock_state();
+    let mut out = format!("{{\"queue_depth\":{},\"jobs\":[", st.queue.len());
+    for (i, r) in st.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"job\":\"{}\",\"kind\":\"{}\",\"status\":\"{}\",\"seq\":{},\
+             \"wall_ms\":{:.3},\"error\":{}}}",
+            json_escape(&r.job),
+            r.kind,
+            r.status.name(),
+            match r.completed_seq {
+                Some(s) => s.to_string(),
+                None => "null".into(),
+            },
+            r.wall.as_secs_f64() * 1e3,
+            match &r.error {
+                Some(e) => format!("\"{}\"", json_escape(e)),
+                None => "null".into(),
+            },
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let (job, depth) = {
+            let mut st = shared.lock_state();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    let depth = st.queue.len() as u64;
+                    st.records[job.record].status = JobStatus::Running;
+                    break (job, depth);
+                }
+                if st.stop {
+                    return;
+                }
+                st = match shared.work.wait(st) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        obs::set_gauge(obs::Gauge::JobQueueDepth, depth);
+        let kind = job.request.kind_name();
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute(shared, &job.job, &job.request)
+        }));
+        let wall = started.elapsed();
+        let outcome: Result<String, ServeError> = match outcome {
+            Ok(inner) => inner,
+            Err(payload) => Err(ServeError::Panic(panic_message(payload.as_ref()))),
+        };
+        let seq = shared.completion_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let response = match &outcome {
+            Ok(payload) => ok_response(&job.job, kind, seq, payload),
+            Err(e) => error_response(&job.job, e),
+        };
+        {
+            let mut st = shared.lock_state();
+            let record = &mut st.records[job.record];
+            record.wall = wall;
+            record.completed_seq = Some(seq);
+            match &outcome {
+                Ok(_) => record.status = JobStatus::Completed,
+                Err(e) => {
+                    record.status = JobStatus::Failed;
+                    record.error = Some(e.to_string());
+                }
+            }
+        }
+        match &outcome {
+            Ok(_) => {
+                obs::add(obs::Counter::JobsCompleted, 1);
+                obs::emit(obs::EventKind::JobCompleted {
+                    job: job.job.clone(),
+                    kind: kind.to_string(),
+                    wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                });
+            }
+            Err(e) => {
+                obs::add(obs::Counter::JobsFailed, 1);
+                obs::emit(obs::EventKind::JobFailed {
+                    job: job.job.clone(),
+                    kind: kind.to_string(),
+                    reason: e.to_string(),
+                });
+            }
+        }
+        let _ = job.reply.send(response);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Executes one job, returning the success payload (the response fields
+/// after `"seq"`) or a typed error.
+fn execute(shared: &Arc<Shared>, job: &str, request: &Request) -> Result<String, ServeError> {
+    match request {
+        Request::Ping => Ok("\"pong\":true".to_string()),
+        Request::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            Ok(format!("\"slept_ms\":{ms}"))
+        }
+        Request::List => {
+            let store = shared.lock_store();
+            let mut payload = String::from("\"traces\":[");
+            for (i, t) in store.list().iter().enumerate() {
+                if i > 0 {
+                    payload.push(',');
+                }
+                let _ = write!(
+                    payload,
+                    "{{\"id\":\"{}\",\"workload\":\"{}\",\"events\":{},\"accesses\":{},\
+                     \"image_len\":{},\"segments\":{}}}",
+                    json_escape(&t.id),
+                    json_escape(&t.meta.workload),
+                    t.events,
+                    t.accesses,
+                    t.image_len,
+                    t.segments.len(),
+                );
+            }
+            payload.push(']');
+            Ok(payload)
+        }
+        Request::Evict { id } => {
+            let mut store = shared.lock_store();
+            store.evict(id)?;
+            Ok(format!("\"evicted\":\"{}\"", json_escape(id)))
+        }
+        Request::Capture { id, spec, grains } => {
+            let w = spec.build()?;
+            let (buffer, _report) = capture_program(&w.program, w.index_arrays.clone())
+                .map_err(|e| ServeError::Exec(e.to_string()))?;
+            let meta = TraceMeta {
+                workload: spec.to_spec_string(),
+                grains: grains.clone(),
+            };
+            let mut store = shared.lock_store();
+            let entry = store.put(id, &buffer, meta)?;
+            Ok(format!(
+                "\"id\":\"{}\",\"events\":{},\"accesses\":{},\"image_len\":{},\
+                 \"image_crc\":{},\"segments\":{}",
+                json_escape(id),
+                entry.events,
+                entry.accesses,
+                entry.image_len,
+                entry.image_crc,
+                entry.segments.len(),
+            ))
+        }
+        Request::Replay(req) => execute_replay(shared, job, req),
+        Request::Estimate { source } => {
+            let spec = match source {
+                EstimateSource::Spec(spec) => spec.clone(),
+                EstimateSource::Stored(id) => {
+                    let store = shared.lock_store();
+                    let entry =
+                        store
+                            .entry(id)
+                            .ok_or_else(|| StoreError::UnknownTrace {
+                                id: id.clone(),
+                            })?;
+                    WorkloadSpec::from_spec_string(&entry.meta.workload)?
+                }
+            };
+            let w = spec.build()?;
+            let hierarchy = if shared.scale <= 1 {
+                reuselens_cache::MemoryHierarchy::itanium2()
+            } else {
+                reuselens_cache::MemoryHierarchy::itanium2_scaled(shared.scale)
+            };
+            let run = run_locality_estimate(&w.program, &hierarchy, &w.index_arrays);
+            let mut payload = format!(
+                "\"covered\":{},\"fallback\":{},\"grains\":[",
+                run.covered.len(),
+                run.fallback.len(),
+            );
+            for (i, p) in run.analysis.analysis.profiles.iter().enumerate() {
+                if i > 0 {
+                    payload.push(',');
+                }
+                let _ = write!(
+                    payload,
+                    "{{\"grain\":{},\"accesses\":{},\"distinct_blocks\":{}}}",
+                    p.block_size, p.total_accesses, p.distinct_blocks,
+                );
+            }
+            payload.push(']');
+            Ok(payload)
+        }
+    }
+}
+
+fn execute_replay(
+    shared: &Arc<Shared>,
+    job: &str,
+    req: &ReplayRequest,
+) -> Result<String, ServeError> {
+    // Read the entry + buffer under the store lock, then analyze without
+    // holding it so sibling jobs can use the store meanwhile.
+    let (buffer, spec_string, stored_grains) = {
+        let store = shared.lock_store();
+        let entry = store
+            .entry(&req.id)
+            .ok_or_else(|| StoreError::UnknownTrace {
+                id: req.id.clone(),
+            })?;
+        let spec_string = entry.meta.workload.clone();
+        let stored_grains = entry.meta.grains.clone();
+        let buffer = store.get(&req.id)?;
+        (buffer, spec_string, stored_grains)
+    };
+    let grains = if req.grains.is_empty() {
+        stored_grains
+    } else {
+        req.grains.clone()
+    };
+    if grains.is_empty() {
+        return Err(ServeError::InvalidField {
+            field: "grains",
+            why: format!(
+                "no grains requested and trace '{}' stored no default grains",
+                req.id
+            ),
+        });
+    }
+    let spec = WorkloadSpec::from_spec_string(&spec_string)?;
+    let w = spec.build()?;
+    let mut budget = AnalysisBudget::unlimited();
+    if let Some(n) = req.budget_events {
+        budget = budget.with_max_events(n);
+    }
+    let opts = AnalyzeOptions {
+        budget,
+        sampling: req.sampling,
+        replay_threads: req.replay_threads,
+        job: Some(job.to_string()),
+        ..AnalyzeOptions::default()
+    };
+    let partial = analyze_buffer_with(&w.program, &buffer, &grains, &opts);
+    if !partial.failures.is_empty() {
+        let msg = partial
+            .failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(ServeError::Analysis(msg));
+    }
+    let saved = SavedProfiles {
+        name: w.program.name().to_string(),
+        size: 0.0,
+        profiles: partial.profiles.clone(),
+    };
+    let mut canonical = Vec::new();
+    write_profiles(&saved, &mut canonical).map_err(|e| ServeError::Io(e.to_string()))?;
+    let profiles_crc = store::crc32(&canonical);
+    if let Some(path) = &req.save {
+        std::fs::write(path, &canonical)
+            .map_err(|e| ServeError::Io(format!("cannot write {path}: {e}")))?;
+    }
+    let mut payload = format!(
+        "\"id\":\"{}\",\"events\":{},\"profiles_crc\":{profiles_crc},\"grains\":[",
+        json_escape(&req.id),
+        buffer.events(),
+    );
+    for (i, p) in partial.profiles.iter().enumerate() {
+        if i > 0 {
+            payload.push(',');
+        }
+        let _ = write!(
+            payload,
+            "{{\"grain\":{},\"accesses\":{},\"distinct_blocks\":{}}}",
+            p.block_size, p.total_accesses, p.distinct_blocks,
+        );
+    }
+    payload.push(']');
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// Reads one `\n`-terminated line with a byte cap. Over-cap lines are
+/// returned anyway (one byte past the cap, rest of the line discarded)
+/// so the parser rejects them with the typed oversize error.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() { None } else { Some(line) });
+        }
+        if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            if line.len() <= cap {
+                line.extend_from_slice(&buf[..nl.min(cap + 1 - line.len().min(cap + 1))]);
+            }
+            if line.len() + nl > cap {
+                line.truncate(cap + 1);
+            }
+            reader.consume(nl + 1);
+            return Ok(Some(line));
+        }
+        let take = buf.len();
+        if line.len() <= cap {
+            let room = (cap + 1).saturating_sub(line.len());
+            line.extend_from_slice(&buf[..take.min(room)]);
+        }
+        reader.consume(take);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, daemon: &Arc<Daemon>) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+            let mut stream = stream;
+            let _ = stream.write_all(
+                error_response(
+                    "job-0",
+                    &ServeError::Overloaded {
+                        queue: MAX_CONNECTIONS,
+                    },
+                )
+                .as_bytes(),
+            );
+            let _ = stream.write_all(b"\n");
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let conn_active = active.clone();
+        let daemon = daemon.clone();
+        let spawned = std::thread::Builder::new()
+            .name("reuselens-conn".into())
+            .spawn(move || {
+                let mut stream = stream;
+                let _ = handle_connection(&mut stream, &daemon);
+                conn_active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, daemon: &Arc<Daemon>) -> io::Result<()> {
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    while let Some(line) = read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+        let rx = daemon.submit_line(&line);
+        let Ok(response) = rx.recv() else { break };
+        stream.write_all(response.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+    }
+    Ok(())
+}
+
+/// Drives the daemon from a line reader to a line writer — the
+/// `reuselens serve --stdin` transport. Responses come back in request
+/// order; submission is pipelined up to the pool's capacity so the
+/// workers stay busy. Returns when the input reaches EOF and every
+/// submitted job has been answered.
+///
+/// # Errors
+///
+/// Propagates read failures from `input` and write failures to `output`.
+pub fn run_stdin(
+    daemon: &Daemon,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    let mut input = input;
+    let mut pending: VecDeque<mpsc::Receiver<String>> = VecDeque::new();
+    let window = daemon.shared.queue_cap + daemon.worker_count.max(1);
+    let flush_front = |pending: &mut VecDeque<mpsc::Receiver<String>>,
+                           output: &mut dyn Write|
+     -> io::Result<()> {
+        if let Some(rx) = pending.pop_front() {
+            if let Ok(response) = rx.recv() {
+                output.write_all(response.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+            }
+        }
+        Ok(())
+    };
+    while let Some(line) = read_line_capped(&mut input, MAX_LINE_BYTES)? {
+        pending.push_back(daemon.submit_line(&line));
+        while pending.len() > window {
+            flush_front(&mut pending, &mut output)?;
+        }
+    }
+    while !pending.is_empty() {
+        flush_front(&mut pending, &mut output)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "reuselens-serve-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    fn recv(rx: mpsc::Receiver<String>) -> String {
+        rx.recv_timeout(Duration::from_secs(60)).expect("response")
+    }
+
+    #[test]
+    fn parser_accepts_the_documented_shapes() {
+        let r = parse_request(
+            br#"{"kind":"capture","id":"t1","workload":"sweep3d","mesh":6,"grains":[64,4096]}"#,
+        )
+        .expect("capture parses");
+        match r {
+            Request::Capture { id, spec, grains } => {
+                assert_eq!(id, "t1");
+                assert_eq!(spec.mesh, Some(6));
+                assert_eq!(grains, vec![64, 4096]);
+                assert_eq!(spec.to_spec_string(), "sweep3d mesh=6");
+                assert_eq!(
+                    WorkloadSpec::from_spec_string(&spec.to_spec_string()).unwrap(),
+                    spec
+                );
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        assert_eq!(parse_request(br#"{"kind":"ping"}"#), Ok(Request::Ping));
+        assert!(matches!(
+            parse_request(br#"{"kind":"replay","id":"t1","replay_threads":"auto"}"#),
+            Ok(Request::Replay(ReplayRequest {
+                replay_threads: ReplayThreads::Auto,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn parser_rejects_hostile_lines_with_typed_errors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "parse"),
+            (b"not json", "parse"),
+            (b"{\"kind\":\"ping\"", "parse"),
+            (b"{\"kind\":42}", "invalid-field"),
+            (b"{\"kind\":\"frobnicate\"}", "unknown-kind"),
+            (b"{\"kind\":\"capture\"}", "missing-field"),
+            (b"{\"kind\":\"ping\",\"kind\":\"ping\"}", "parse"),
+            (b"{\"kind\":\"ping\",\"x\":{\"nested\":1}}", "parse"),
+            (b"{\"kind\":\"ping\",\"x\":[[1]]}", "parse"),
+            (b"\xff\xfe{\"kind\":\"ping\"}", "parse"),
+            (
+                br#"{"kind":"capture","id":"../evil","workload":"sweep3d"}"#,
+                "invalid-field",
+            ),
+            (
+                br#"{"kind":"replay","id":"t","sample_rate":7}"#,
+                "invalid-field",
+            ),
+        ];
+        for (line, want) in cases {
+            let err = parse_request(line).expect_err("must reject");
+            assert_eq!(
+                err.type_name(),
+                *want,
+                "line {:?} gave {err:?}",
+                String::from_utf8_lossy(line)
+            );
+            assert!(err.is_rejection());
+        }
+        // Oversized line.
+        let big = vec![b'x'; MAX_LINE_BYTES + 1];
+        assert_eq!(parse_request(&big).unwrap_err().type_name(), "parse");
+    }
+
+    #[test]
+    fn ping_list_evict_round_trip() {
+        let daemon =
+            Daemon::start(DaemonConfig::new(tmpdir("ping"))).expect("start daemon");
+        let pong = recv(daemon.submit_line(br#"{"kind":"ping"}"#));
+        assert!(pong.contains("\"ok\":true"), "{pong}");
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        let list = recv(daemon.submit_line(br#"{"kind":"list"}"#));
+        assert!(list.contains("\"traces\":[]"), "{list}");
+        let gone = recv(daemon.submit_line(br#"{"kind":"evict","id":"nope"}"#));
+        assert!(gone.contains("\"type\":\"unknown-trace\""), "{gone}");
+        let records = daemon.job_records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].status, JobStatus::Completed);
+        assert_eq!(records[2].status, JobStatus::Failed);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn capture_then_replay_is_deterministic() {
+        let daemon =
+            Daemon::start(DaemonConfig::new(tmpdir("capture"))).expect("start daemon");
+        let cap = recv(daemon.submit_line(
+            br#"{"kind":"capture","id":"s1","workload":"kernel:stream","grains":[64]}"#,
+        ));
+        assert!(cap.contains("\"ok\":true"), "{cap}");
+        let a = recv(daemon.submit_line(br#"{"kind":"replay","id":"s1"}"#));
+        let b = recv(daemon.submit_line(br#"{"kind":"replay","id":"s1","grains":[64]}"#));
+        assert!(a.contains("\"ok\":true"), "{a}");
+        let crc = |s: &str| {
+            let tail = s.split("\"profiles_crc\":").nth(1).expect("crc field");
+            tail.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        };
+        assert_eq!(crc(&a), crc(&b), "replays must agree: {a} vs {b}");
+        let dup = recv(daemon.submit_line(
+            br#"{"kind":"capture","id":"s1","workload":"kernel:stream"}"#,
+        ));
+        assert!(dup.contains("\"type\":\"duplicate-trace\""), "{dup}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let mut config = DaemonConfig::new(tmpdir("full"));
+        config.workers = 1;
+        config.queue = 1;
+        let daemon = Daemon::start(config).expect("start daemon");
+        // Occupy the worker, then the queue, then overflow.
+        let slow = daemon.submit_line(br#"{"kind":"sleep","ms":400}"#);
+        // Wait until the worker picked the sleep up (queue drains to 0).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.queue_depth() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let queued = daemon.submit_line(br#"{"kind":"ping"}"#);
+        let rejected = recv(daemon.submit_line(br#"{"kind":"ping"}"#));
+        assert!(rejected.contains("\"type\":\"overloaded\""), "{rejected}");
+        assert!(recv(slow).contains("\"slept_ms\":400"));
+        assert!(recv(queued).contains("\"pong\":true"));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn tcp_transport_serves_lines() {
+        let daemon = Arc::new(
+            Daemon::start(DaemonConfig::new(tmpdir("tcp"))).expect("start daemon"),
+        );
+        let addr = daemon.serve("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"{\"kind\":\"ping\"}\n{\"kind\":\"list\"}\nnot json\n")
+            .expect("send");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut reader = io::BufReader::new(stream);
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).expect("read") > 0 {
+            lines.push(std::mem::take(&mut line));
+        }
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("\"pong\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"traces\":[]"), "{}", lines[1]);
+        assert!(lines[2].contains("\"type\":\"parse\""), "{}", lines[2]);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn stdin_transport_answers_in_request_order() {
+        let daemon =
+            Daemon::start(DaemonConfig::new(tmpdir("stdin"))).expect("start daemon");
+        let input = b"{\"kind\":\"sleep\",\"ms\":50}\n{\"kind\":\"ping\"}\n".to_vec();
+        let mut output = Vec::new();
+        run_stdin(&daemon, io::Cursor::new(input), &mut output).expect("run");
+        let text = String::from_utf8(output).expect("utf8 output");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"slept_ms\":50"), "{}", lines[0]);
+        assert!(lines[1].contains("\"pong\":true"), "{}", lines[1]);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn jobs_json_tracks_the_table() {
+        let daemon =
+            Daemon::start(DaemonConfig::new(tmpdir("jobs"))).expect("start daemon");
+        let _ = recv(daemon.submit_line(br#"{"kind":"ping"}"#));
+        let _ = recv(daemon.submit_line(b"garbage"));
+        let json = daemon.jobs_json();
+        assert!(json.starts_with("{\"queue_depth\":"), "{json}");
+        assert!(json.contains("\"job\":\"job-1\""), "{json}");
+        assert!(json.contains("\"status\":\"completed\""), "{json}");
+        assert!(json.contains("\"status\":\"rejected\""), "{json}");
+        let cb = daemon.jobs_callback();
+        assert_eq!(cb(), daemon.jobs_json());
+        daemon.shutdown();
+    }
+}

@@ -1,0 +1,163 @@
+//! Stored-trace replay must be **bit-identical** to direct in-memory
+//! replay — the acceptance contract for the trace store (DESIGN §4.15).
+//!
+//! For Sweep3D and GTC the suite captures once, round-trips the buffer
+//! through an on-disk [`TraceStore`] (including a fresh re-open so the
+//! bytes really come from disk), and replays both copies across the
+//! grain set {1, 64, 4096}, every sampling mode, and serial /
+//! fixed / auto replay-thread settings. Identity is checked at two
+//! levels: the exported trace image byte-for-byte, and the canonical
+//! serialized profile bytes (the same bytes `reuselens serve` CRCs into
+//! every replay response).
+
+use reuselens::core::{
+    analyze_buffer_with, capture_program, write_profiles, AnalyzeOptions, ReplayThreads,
+    SamplingConfig, SavedProfiles,
+};
+use reuselens::store::TraceStore;
+use reuselens::trace::TraceBuffer;
+use reuselens::workloads::gtc::{build as build_gtc, GtcConfig};
+use reuselens::workloads::sweep3d::{build as build_sweep, SweepConfig};
+use reuselens::workloads::BuiltWorkload;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const GRAINS: [u64; 3] = [1, 64, 4096];
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reuselens-identity-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The canonical profile serialization — what `--save-profile` writes
+/// and what the daemon's `profiles_crc` is computed over.
+fn profile_bytes(name: &str, profiles: &[reuselens::core::ReuseProfile]) -> Vec<u8> {
+    let saved = SavedProfiles {
+        name: name.to_string(),
+        size: 0.0,
+        profiles: profiles.to_vec(),
+    };
+    let mut bytes = Vec::new();
+    write_profiles(&saved, &mut bytes).expect("serialize profiles");
+    bytes
+}
+
+/// Captures `w`, stores the trace, re-opens the store, and returns both
+/// the in-memory buffer and the from-disk restoration.
+fn capture_and_roundtrip(w: &BuiltWorkload, tag: &str) -> (TraceBuffer, TraceBuffer) {
+    let (buffer, _report) =
+        capture_program(&w.program, w.index_arrays.clone()).expect("capture");
+    let dir = tmpdir(tag);
+    {
+        let mut store = TraceStore::open(&dir).expect("open store");
+        store
+            .put(
+                "t0",
+                &buffer,
+                reuselens::store::TraceMeta {
+                    workload: w.program.name().to_string(),
+                    grains: GRAINS.to_vec(),
+                },
+            )
+            .expect("put trace");
+    }
+    // Fresh open: everything below must come from the on-disk bytes.
+    let store = TraceStore::open(&dir).expect("re-open store");
+    let restored = store.get("t0").expect("read trace back");
+    let _ = std::fs::remove_dir_all(&dir);
+    (buffer, restored)
+}
+
+fn assert_identical_everywhere(w: &BuiltWorkload, tag: &str) {
+    let (direct, stored) = capture_and_roundtrip(w, tag);
+    assert_eq!(
+        direct.export(),
+        stored.export(),
+        "{tag}: restored trace image differs from the captured one"
+    );
+    let modes = [
+        SamplingConfig::exact(),
+        SamplingConfig::fixed(0.25),
+        SamplingConfig::adaptive(4096),
+    ];
+    let threads = [
+        ReplayThreads::Serial,
+        ReplayThreads::Fixed(2),
+        ReplayThreads::Fixed(3),
+        ReplayThreads::Auto,
+    ];
+    for sampling in modes {
+        for replay_threads in threads {
+            let opts = AnalyzeOptions {
+                sampling,
+                replay_threads,
+                ..AnalyzeOptions::default()
+            };
+            let a = analyze_buffer_with(&w.program, &direct, &GRAINS, &opts);
+            let b = analyze_buffer_with(&w.program, &stored, &GRAINS, &opts);
+            assert!(
+                a.failures.is_empty() && b.failures.is_empty(),
+                "{tag}: unexpected grain failures under {sampling:?}/{replay_threads:?}"
+            );
+            assert_eq!(
+                profile_bytes(tag, &a.profiles),
+                profile_bytes(tag, &b.profiles),
+                "{tag}: stored-trace profiles diverge from in-memory replay \
+                 under {sampling:?}/{replay_threads:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep3d_stored_replay_is_bit_identical() {
+    let w = build_sweep(&SweepConfig::new(6));
+    assert_identical_everywhere(&w, "sweep3d");
+}
+
+#[test]
+fn gtc_stored_replay_is_bit_identical() {
+    let w = build_gtc(&GtcConfig::new(128, 4));
+    assert_identical_everywhere(&w, "gtc");
+}
+
+/// The daemon's `replay` job must report the same profile CRC whether
+/// the store was freshly written or re-opened by a second daemon —
+/// the end-to-end version of the library-level identity above.
+#[test]
+fn daemon_replay_crc_is_stable_across_reopen() {
+    use reuselens::serve::{Daemon, DaemonConfig};
+
+    let dir = tmpdir("daemon");
+    let capture = br#"{"kind":"capture","id":"s1","workload":"sweep3d","mesh":6}"#;
+    let replay = br#"{"kind":"replay","id":"s1","grains":[1,64,4096]}"#;
+
+    let mut config = DaemonConfig::new(&dir);
+    config.workers = 1;
+    let daemon = Daemon::start(config).expect("start daemon");
+    let r1 = daemon.submit_line(capture).recv().expect("capture response");
+    assert!(r1.contains("\"ok\":true"), "{r1}");
+    let r2 = daemon.submit_line(replay).recv().expect("replay response");
+    daemon.shutdown();
+
+    // A second daemon over the same directory reads the index and
+    // segments cold from disk.
+    let daemon = Daemon::start(DaemonConfig::new(&dir)).expect("restart daemon");
+    let r3 = daemon.submit_line(replay).recv().expect("replay response");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let crc = |resp: &str| -> String {
+        let at = resp
+            .find("\"profiles_crc\":")
+            .unwrap_or_else(|| panic!("no profiles_crc in {resp}"));
+        resp[at..].chars().take_while(|c| *c != ',').collect()
+    };
+    assert_eq!(crc(&r2), crc(&r3), "replay CRC changed across daemon restart");
+}
